@@ -1,0 +1,30 @@
+//! Benchmark applications: the targets of the Grunt attack experiments.
+//!
+//! Two application families, matching the paper's evaluation:
+//!
+//! * [`social_network()`] — a SocialNetwork deployment in the style of
+//!   DeathStarBench (Fig 12a): an nginx frontend in front of write
+//!   (compose-post), read (timelines) and social/user subsystems, with the
+//!   storage tier behind each. Public request types form three latent
+//!   dependency groups (Fig 12c).
+//! * [`ubench`] — a µBench-style factory of synthetic microservice
+//!   applications of configurable scale (the paper's live-attack apps have
+//!   62, 118 and 196 unique microservices) with known ground truth.
+//! * [`media_service()`] — a second DeathStarBench-style application (a
+//!   movie-review site) with two attackable groups and a CDN-isolated
+//!   streaming path, for evaluating beyond the paper's targets.
+//!
+//! Both builders *provision* the deployment for a target user population:
+//! replica counts are chosen so each service sits at a moderate baseline
+//! utilisation, like the paper's cloud deployments with auto-scaling
+//! enabled.
+
+pub mod media_service;
+pub mod provision;
+pub mod social_network;
+pub mod ubench;
+
+pub use media_service::{media_service, MediaService};
+pub use provision::provision_replicas;
+pub use social_network::{social_network, SocialNetwork};
+pub use ubench::{UBench, UBenchConfig};

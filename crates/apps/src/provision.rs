@@ -1,0 +1,100 @@
+//! Capacity provisioning: size replica counts for a target workload.
+
+use callgraph::RequestTypeId;
+use simnet::SimDuration;
+
+/// Expected per-service load and the replica count that keeps baseline
+/// utilisation near a target — the capacity-planning step a real operator
+/// performs before enabling auto-scaling.
+///
+/// Given the offered rate of each request type (req/s) and the chains they
+/// traverse, the demand-rate at a service is
+/// `Σ_types rate(type) * demand(type at service)` core-seconds per second;
+/// dividing by `cores * target_util` and rounding up yields the replicas.
+///
+/// # Example
+///
+/// ```
+/// use apps::provision_replicas;
+/// use callgraph::RequestTypeId;
+/// use simnet::SimDuration;
+///
+/// // One request type at 100 req/s spending 10 ms at the service:
+/// // 1 core-second/s of work; at 50% target utilisation -> 2 replicas.
+/// let replicas = provision_replicas(
+///     &[(RequestTypeId::new(0), 100.0)],
+///     |_rt| Some(SimDuration::from_millis(10)),
+///     1,
+///     0.5,
+/// );
+/// assert_eq!(replicas, 2);
+/// ```
+pub fn provision_replicas(
+    offered: &[(RequestTypeId, f64)],
+    mut demand_at_service: impl FnMut(RequestTypeId) -> Option<SimDuration>,
+    cores: u32,
+    target_util: f64,
+) -> u32 {
+    assert!(
+        target_util > 0.0 && target_util <= 1.0,
+        "target utilisation must be in (0, 1]"
+    );
+    let mut core_seconds_per_second = 0.0;
+    for (rt, rate) in offered {
+        if let Some(demand) = demand_at_service(*rt) {
+            core_seconds_per_second += rate * demand.as_secs_f64();
+        }
+    }
+    let replicas = (core_seconds_per_second / (f64::from(cores) * target_util)).ceil();
+    (replicas as u32).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_service_keeps_one_replica() {
+        let r = provision_replicas(&[], |_| None, 1, 0.4);
+        assert_eq!(r, 1);
+    }
+
+    #[test]
+    fn load_scales_replicas() {
+        // 400 req/s * 10 ms = 4 core-s/s; at 40% target on 1 core -> 10.
+        let r = provision_replicas(
+            &[(RequestTypeId::new(0), 400.0)],
+            |_| Some(SimDuration::from_millis(10)),
+            1,
+            0.4,
+        );
+        assert_eq!(r, 10);
+    }
+
+    #[test]
+    fn multiple_types_accumulate() {
+        let r = provision_replicas(
+            &[
+                (RequestTypeId::new(0), 100.0),
+                (RequestTypeId::new(1), 100.0),
+            ],
+            |rt| {
+                if rt.index() == 0 {
+                    Some(SimDuration::from_millis(4))
+                } else {
+                    Some(SimDuration::from_millis(2))
+                }
+            },
+            1,
+            0.65,
+        );
+        // (0.4 + 0.2) / 0.65 ≈ 0.92 -> 1 replica.
+        assert_eq!(r, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "target utilisation")]
+    fn bad_target_rejected() {
+        provision_replicas(&[], |_| None, 1, 0.0);
+    }
+}

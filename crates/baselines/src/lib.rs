@@ -1,0 +1,21 @@
+//! Baseline attacks Grunt is compared against (Section VII).
+//!
+//! * [`TailAttack`] — the single-path low-rate attack of Shan et al.
+//!   (CCS'17): ON/OFF bursts against *one* critical path of the target.
+//!   On an n-tier monolith this damages the whole system; on microservices
+//!   it only degrades the few paths that depend on the attacked one, which
+//!   is the motivating observation of the paper ("attacks that target a
+//!   single path may become ineffective on microservices").
+//! * [`BruteForce`] — a sustained flood sized as a multiple of the
+//!   system's capacity. It trivially meets any damage goal but its traffic
+//!   volume and sustained resource saturation light up every detector —
+//!   the volume comparison of Section I (gigabytes vs megabytes).
+//!
+//! Both are [`microsim::Agent`]s, directly comparable to the Grunt
+//! Commander in the ablation experiments (`lab ablations`).
+
+pub mod brute_force;
+pub mod tail_attack;
+
+pub use brute_force::BruteForce;
+pub use tail_attack::{TailAttack, TailAttackConfig};

@@ -1,0 +1,217 @@
+//! One reduced-scale Criterion bench per reproduced table/figure.
+//!
+//! Each bench exercises exactly the pipeline of the corresponding `lab`
+//! runner — workload generation, profiling or attacking, monitoring and
+//! analysis — at a scale small enough for repeated sampling. The full
+//! artifacts are regenerated with `cargo run --release -p lab --bin lab`.
+
+use apps::{social_network, UBench, UBenchConfig};
+use baselines::{BruteForce, TailAttack, TailAttackConfig};
+use bench::BENCH_USERS;
+use criterion::{criterion_group, criterion_main, Criterion};
+use defense::{CorrelationDefense, Ids, IdsConfig, RateShield};
+use grunt::{CampaignConfig, GruntCampaign, Profiler, ProfilerConfig};
+use microsim::{AutoScalePolicy, SimConfig, Simulation};
+use simnet::{SimDuration, SimTime};
+use telemetry::{
+    CoarseMonitor, GroundTruth, LatencySeries, LatencySummary, ProfilerScore, Traffic,
+};
+use workload::{ClosedLoopUsers, PoissonSource, RateTrace};
+
+fn small_sim(seed: u64) -> (apps::SocialNetwork, Simulation) {
+    let app = social_network(BENCH_USERS);
+    let mut sim = Simulation::new(app.topology().clone(), SimConfig::default().seed(seed));
+    sim.add_agent(Box::new(ClosedLoopUsers::new(
+        BENCH_USERS,
+        app.browsing_model(),
+        seed,
+    )));
+    (app, sim)
+}
+
+fn run_profiler(sim: &mut Simulation, seed: u64) -> grunt::ProfilerOutcome {
+    let id = sim.add_agent(Box::new(Profiler::new(ProfilerConfig {
+        seed,
+        ..ProfilerConfig::default()
+    })));
+    loop {
+        let next = sim.now() + SimDuration::from_secs(30);
+        sim.run_until(next);
+        if sim.agent_as::<Profiler>(id).expect("registered").is_done() {
+            break;
+        }
+    }
+    sim.agent_as::<Profiler>(id)
+        .expect("registered")
+        .outcome()
+        .expect("done")
+        .clone()
+}
+
+/// Fig 1 / Fig 13 / Fig 14 share the attack+timeline pipeline.
+fn bench_attack_timelines(c: &mut Criterion) {
+    let mut g = c.benchmark_group("experiments");
+    g.sample_size(10);
+    g.bench_function("fig1_fig13_fig14_attack_and_timelines", |b| {
+        b.iter(|| {
+            let (_app, mut sim) = small_sim(1);
+            sim.run_until(SimTime::from_secs(10));
+            let campaign = GruntCampaign::run(
+                &mut sim,
+                CampaignConfig::default(),
+                SimDuration::from_secs(40),
+            );
+            // Fig 1: 1 s series; Fig 13: fine series; Fig 14: coarse view.
+            let m = sim.metrics();
+            let coarse = CoarseMonitor::new(m, SimDuration::from_secs(1));
+            let rt =
+                LatencySeries::compute(m, Traffic::Legit, SimDuration::from_secs(1), sim.now());
+            (
+                campaign.report.bursts.len(),
+                coarse.series(callgraph::ServiceId::new(1)).len(),
+                rt.peak_ms(),
+            )
+        })
+    });
+    g.finish();
+}
+
+/// Tables I/III: one cloud setting end to end.
+fn bench_table1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("experiments");
+    g.sample_size(10);
+    g.bench_function("table1_one_setting", |b| {
+        b.iter(|| {
+            let (_app, mut sim) = small_sim(2);
+            sim.run_until(SimTime::from_secs(20));
+            let base = LatencySummary::compute(
+                sim.metrics(),
+                Traffic::Legit,
+                None,
+                SimTime::from_secs(5),
+                SimTime::from_secs(20),
+            );
+            let campaign = GruntCampaign::run(
+                &mut sim,
+                CampaignConfig::default(),
+                SimDuration::from_secs(40),
+            );
+            let att = LatencySummary::compute(
+                sim.metrics(),
+                Traffic::Legit,
+                None,
+                campaign.attack_started + SimDuration::from_secs(10),
+                sim.now(),
+            );
+            (base.avg_ms, att.avg_ms, campaign.bots_used)
+        })
+    });
+    g.finish();
+}
+
+/// Fig 11 / Fig 12 / Fig 16 / Table IV share the profiling pipeline.
+fn bench_profiling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("experiments");
+    g.sample_size(10);
+    g.bench_function("fig11_fig12_profile_social_network", |b| {
+        b.iter(|| {
+            let (app, mut sim) = small_sim(3);
+            sim.run_until(SimTime::from_secs(5));
+            let outcome = run_profiler(&mut sim, 3);
+            let gt = GroundTruth::from_topology(app.topology());
+            let members: Vec<_> = outcome.catalog.iter().map(|(id, _)| *id).collect();
+            ProfilerScore::compute(&members, &gt, &outcome.groups).f_score()
+        })
+    });
+    g.bench_function("fig16_table4_profile_ubench_app1", |b| {
+        b.iter(|| {
+            let app = UBench::generate(UBenchConfig::app1(BENCH_USERS));
+            let mut sim = Simulation::new(app.topology().clone(), SimConfig::default().seed(4));
+            sim.add_agent(Box::new(ClosedLoopUsers::new(
+                BENCH_USERS,
+                app.browsing_model(),
+                4,
+            )));
+            sim.run_until(SimTime::from_secs(5));
+            let outcome = run_profiler(&mut sim, 4);
+            outcome.groups.groups().len()
+        })
+    });
+    g.finish();
+}
+
+/// Fig 15: bursty trace with auto-scaling.
+fn bench_fig15(c: &mut Criterion) {
+    let mut g = c.benchmark_group("experiments");
+    g.sample_size(10);
+    g.bench_function("fig15_bursty_trace_autoscale", |b| {
+        b.iter(|| {
+            let app = social_network(4 * BENCH_USERS);
+            let mut sim = Simulation::new(
+                app.topology().clone(),
+                SimConfig::default()
+                    .seed(5)
+                    .autoscale(AutoScalePolicy::paper_default()),
+            );
+            let trace = RateTrace::large_variation(
+                5,
+                SimDuration::from_secs(300),
+                100.0,
+                4.0 * BENCH_USERS as f64 / 7.0,
+            );
+            sim.add_agent(Box::new(PoissonSource::new(
+                app.request_mix(),
+                trace,
+                SimTime::from_secs(60),
+                5,
+            )));
+            sim.run_until(SimTime::from_secs(60));
+            sim.metrics().scaling_actions().len()
+        })
+    });
+    g.finish();
+}
+
+/// §VII ablations: baselines plus the detection stack.
+fn bench_ablations(c: &mut Criterion) {
+    let mut g = c.benchmark_group("experiments");
+    g.sample_size(10);
+    g.bench_function("ablations_tail_and_flood_with_detection", |b| {
+        b.iter(|| {
+            let (app, mut sim) = small_sim(6);
+            sim.run_until(SimTime::from_secs(10));
+            let target = app
+                .topology()
+                .request_type_by_name("compose-rich-post")
+                .expect("known");
+            sim.add_agent(Box::new(TailAttack::new(TailAttackConfig::comparable(
+                target,
+                SimTime::from_secs(40),
+            ))));
+            sim.add_agent(Box::new(BruteForce::new(
+                app.request_mix(),
+                300.0,
+                100,
+                SimTime::from_secs(40),
+                6,
+            )));
+            sim.run_until(SimTime::from_secs(40));
+            let m = sim.metrics();
+            let ids = Ids::new(IdsConfig::default()).analyze(m);
+            let blocked = RateShield::paper_default().blocked_count(m);
+            let corr = CorrelationDefense::default().analyze(m, sim.now());
+            (ids.alerts().len(), blocked, corr.flagged_sessions().len())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_attack_timelines,
+    bench_table1,
+    bench_profiling,
+    bench_fig15,
+    bench_ablations
+);
+criterion_main!(benches);

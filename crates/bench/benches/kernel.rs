@@ -1,0 +1,120 @@
+//! Simulation-kernel microbenches: the event loop, RNG streams and the
+//! statistics collectors everything else is built on.
+
+use callgraph::{RequestTypeId, ServiceSpec, TopologyBuilder};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use microsim::agents::FixedRate;
+use microsim::{SimConfig, Simulation};
+use simnet::{EventQueue, RngStream, SampleSet, SimDuration, SimTime, Welford};
+use workload::{BrowsingModel, ClosedLoopUsers};
+
+fn event_queue(c: &mut Criterion) {
+    c.bench_function("kernel/event_queue_push_pop_10k", |b| {
+        b.iter_batched(
+            || EventQueue::<u64>::with_capacity(10_240),
+            |mut q| {
+                for i in 0..10_000u64 {
+                    q.push(SimTime::from_micros(i * 37 % 100_000), i);
+                }
+                let mut sum = 0u64;
+                while let Some((_, v)) = q.pop() {
+                    sum = sum.wrapping_add(v);
+                }
+                sum
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn rng_streams(c: &mut Criterion) {
+    c.bench_function("kernel/rng_exp_draws_10k", |b| {
+        let mut rng = RngStream::from_label(1, "bench");
+        b.iter(|| {
+            let mut acc = 0.0;
+            for _ in 0..10_000 {
+                acc += rng.exp(7.0);
+            }
+            acc
+        })
+    });
+}
+
+fn stats_collectors(c: &mut Criterion) {
+    c.bench_function("kernel/welford_10k", |b| {
+        b.iter(|| {
+            let mut w = Welford::new();
+            for i in 0..10_000 {
+                w.push(f64::from(i % 997));
+            }
+            w.mean()
+        })
+    });
+    c.bench_function("kernel/sample_set_percentile_10k", |b| {
+        b.iter_batched(
+            || {
+                let mut s = SampleSet::new();
+                for i in 0..10_000 {
+                    s.push(f64::from((i * 31) % 9973));
+                }
+                s
+            },
+            |mut s| s.percentile(0.95),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn chain_topology() -> callgraph::Topology {
+    let mut b = TopologyBuilder::new();
+    let gw = b.add_service(ServiceSpec::new("gw").threads(256).cores(4).demand_cv(0.1));
+    let api = b.add_service(ServiceSpec::new("api").threads(64).cores(2).demand_cv(0.1));
+    let db = b.add_service(ServiceSpec::new("db").threads(32).cores(2).demand_cv(0.1));
+    b.add_request_type(
+        "r",
+        vec![
+            (gw, SimDuration::from_micros(300)),
+            (api, SimDuration::from_millis(2)),
+            (db, SimDuration::from_millis(4)),
+        ],
+    );
+    b.build()
+}
+
+fn simulation_throughput(c: &mut Criterion) {
+    // How fast the platform simulates one second of 500 req/s traffic
+    // through a 3-stage chain (the core event cascade).
+    c.bench_function("kernel/simulate_1s_500rps_3stage", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new(chain_topology(), SimConfig::default().access_log(false));
+            sim.add_agent(Box::new(FixedRate::new(
+                RequestTypeId::new(0),
+                SimDuration::from_micros(2_000),
+                500,
+            )));
+            sim.run_until(SimTime::from_secs(1));
+            sim.metrics().request_log().len()
+        })
+    });
+    // Closed-loop population wake/submit/response cycle.
+    c.bench_function("kernel/simulate_5s_closed_loop_200users", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new(chain_topology(), SimConfig::default().access_log(false));
+            let model = BrowsingModel::uniform([RequestTypeId::new(0)]);
+            sim.add_agent(Box::new(
+                ClosedLoopUsers::new(200, model, 3).with_think_time(0.5),
+            ));
+            sim.run_until(SimTime::from_secs(5));
+            sim.metrics().request_log().len()
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    event_queue,
+    rng_streams,
+    stats_collectors,
+    simulation_throughput
+);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Analytic-model benches: the Section III equations, candidate ranking
+//! and the attacker-side estimators — the hot path of the Commander's
+//! per-burst feedback.
+
+use callgraph::{DependencyGroups, ExecutionPath, RequestTypeId, ServiceId};
+use criterion::{criterion_group, criterion_main, Criterion};
+use grunt::{BurstObservation, ScalarKalman};
+use microsim::Response;
+use queueing::{
+    cross_tier_queue, damage_latency, millibottleneck_length, rank_candidates, BurstPlan,
+    PathParams, StageParams,
+};
+use simnet::{SimDuration, SimTime};
+
+fn equations(c: &mut Criterion) {
+    let hub = StageParams::symmetric(32.0, 750.0, 180.0);
+    let mid = StageParams::symmetric(20.0, 400.0, 90.0);
+    let bn = StageParams::symmetric(20.0, 260.0, 80.0);
+    let path = PathParams::new(vec![hub, mid, bn], 2, 0);
+    let burst = BurstPlan::new(500.0, 0.4);
+    c.bench_function("model/eq3_eq4_eq5_chain", |b| {
+        b.iter(|| {
+            let q = cross_tier_queue(burst, &path);
+            let d = damage_latency(q.max(1.0), 260.0);
+            let p = millibottleneck_length(burst, 260.0, 80.0, 260.0);
+            (q, d, p)
+        })
+    });
+}
+
+fn ranking(c: &mut Criterion) {
+    // A 12-path dependency group (App.1 scale).
+    let ms = SimDuration::from_millis;
+    let paths: Vec<ExecutionPath> = (0..12)
+        .map(|i| {
+            ExecutionPath::from_chain(
+                RequestTypeId::new(i),
+                vec![
+                    (ServiceId::new(0), ms(1)),
+                    (ServiceId::new(1 + i % 3), ms(5)),
+                    (ServiceId::new(10 + i), ms(12)),
+                ],
+            )
+        })
+        .collect();
+    let groups = DependencyGroups::from_ground_truth(&paths);
+    let members: Vec<RequestTypeId> = paths.iter().map(|p| p.request_type()).collect();
+    c.bench_function("model/rank_candidates_12paths", |b| {
+        b.iter(|| rank_candidates(&members, &groups, |rt| 100.0 + rt.index() as f64))
+    });
+}
+
+fn estimators(c: &mut Criterion) {
+    c.bench_function("model/burst_observation_400resp", |b| {
+        b.iter(|| {
+            let mut obs = BurstObservation::new(RequestTypeId::new(0), SimTime::ZERO, 400);
+            for t in 0..400u64 {
+                obs.track(t);
+            }
+            for t in 0..400u64 {
+                obs.record(&Response {
+                    token: t,
+                    request_type: RequestTypeId::new(0),
+                    submitted_at: SimTime::from_millis(t),
+                    completed_at: SimTime::from_millis(t + 80 + (t % 37)),
+                });
+            }
+            (obs.pmb_estimate(), obs.avg_rt_ms())
+        })
+    });
+    c.bench_function("model/kalman_1k_updates", |b| {
+        b.iter(|| {
+            let mut k = ScalarKalman::new(2_000.0, 40_000.0);
+            let mut last = 0.0;
+            for i in 0..1_000 {
+                last = k.update(400.0 + f64::from(i % 83));
+            }
+            last
+        })
+    });
+}
+
+criterion_group!(benches, equations, ranking, estimators);
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+//! Benchmark support crate.
+//!
+//! The actual Criterion benches live under `benches/`:
+//!
+//! * `kernel` — simulation-kernel microbenches (event throughput, RNG,
+//!   statistics collectors).
+//! * `model` — the analytic queueing equations and candidate ranking.
+//! * `experiments` — one reduced-scale bench per reproduced table/figure,
+//!   exercising exactly the code path of the corresponding `lab` runner
+//!   (`cargo run -p lab --bin lab -- <name>` regenerates the full
+//!   artifact; the bench tracks its cost).
+
+/// Standard reduced scale used by the per-artifact benches: small enough
+/// for Criterion's repeated sampling, large enough to exercise every
+/// subsystem.
+pub const BENCH_USERS: usize = 1_000;

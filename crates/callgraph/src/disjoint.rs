@@ -1,0 +1,160 @@
+//! Union–find (disjoint sets) over dense indices.
+//!
+//! Used to build dependency groups: every pairwise dependency merges the two
+//! paths' sets, and the surviving sets are the groups.
+
+/// A union–find structure with path compression and union by size.
+///
+/// # Example
+///
+/// ```
+/// use callgraph::DisjointSets;
+///
+/// let mut ds = DisjointSets::new(4);
+/// ds.union(0, 1);
+/// ds.union(2, 3);
+/// assert!(ds.connected(0, 1));
+/// assert!(!ds.connected(1, 2));
+/// assert_eq!(ds.num_sets(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DisjointSets {
+    parent: Vec<usize>,
+    size: Vec<usize>,
+    num_sets: usize,
+}
+
+impl DisjointSets {
+    /// Creates `n` singleton sets labelled `0..n`.
+    pub fn new(n: usize) -> Self {
+        DisjointSets {
+            parent: (0..n).collect(),
+            size: vec![1; n],
+            num_sets: n,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// `true` when there are no elements.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// The canonical representative of `x`'s set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is out of range.
+    pub fn find(&mut self, x: usize) -> usize {
+        let mut root = x;
+        while self.parent[root] != root {
+            root = self.parent[root];
+        }
+        // Path compression.
+        let mut cur = x;
+        while self.parent[cur] != root {
+            let next = self.parent[cur];
+            self.parent[cur] = root;
+            cur = next;
+        }
+        root
+    }
+
+    /// Merges the sets containing `a` and `b`. Returns `true` when they were
+    /// previously distinct.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (big, small) = if self.size[ra] >= self.size[rb] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[small] = big;
+        self.size[big] += self.size[small];
+        self.num_sets -= 1;
+        true
+    }
+
+    /// Whether `a` and `b` are in the same set.
+    pub fn connected(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Number of distinct sets.
+    pub fn num_sets(&self) -> usize {
+        self.num_sets
+    }
+
+    /// Groups the elements into their sets, each group sorted ascending,
+    /// groups ordered by their smallest member.
+    pub fn groups(&mut self) -> Vec<Vec<usize>> {
+        let n = self.len();
+        let mut by_root: std::collections::BTreeMap<usize, Vec<usize>> = Default::default();
+        for x in 0..n {
+            let r = self.find(x);
+            by_root.entry(r).or_default().push(x);
+        }
+        let mut groups: Vec<Vec<usize>> = by_root.into_values().collect();
+        groups.sort_by_key(|g| g[0]);
+        groups
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons_initially() {
+        let mut ds = DisjointSets::new(3);
+        assert_eq!(ds.num_sets(), 3);
+        assert!(!ds.connected(0, 2));
+    }
+
+    #[test]
+    fn union_merges_and_reports() {
+        let mut ds = DisjointSets::new(3);
+        assert!(ds.union(0, 1));
+        assert!(!ds.union(1, 0));
+        assert_eq!(ds.num_sets(), 2);
+        assert!(ds.connected(0, 1));
+    }
+
+    #[test]
+    fn transitive_connectivity() {
+        let mut ds = DisjointSets::new(5);
+        ds.union(0, 1);
+        ds.union(1, 2);
+        ds.union(3, 4);
+        assert!(ds.connected(0, 2));
+        assert!(!ds.connected(2, 3));
+        assert_eq!(ds.groups(), vec![vec![0, 1, 2], vec![3, 4]]);
+    }
+
+    #[test]
+    fn groups_are_sorted() {
+        let mut ds = DisjointSets::new(6);
+        ds.union(5, 0);
+        ds.union(4, 2);
+        let groups = ds.groups();
+        assert_eq!(groups, vec![vec![0, 5], vec![1], vec![2, 4], vec![3]]);
+    }
+
+    #[test]
+    fn empty_structure() {
+        let mut ds = DisjointSets::new(0);
+        assert!(ds.is_empty());
+        assert_eq!(ds.groups(), Vec::<Vec<usize>>::new());
+    }
+}

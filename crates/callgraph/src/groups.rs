@@ -1,0 +1,294 @@
+//! Dependency-group construction.
+//!
+//! A *dependency group* (Section II-B) is a maximal set of critical paths
+//! that can mutually block each other: the connected components of the
+//! pairwise-dependency relation.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::depgraph::PairwiseDependency;
+use crate::disjoint::DisjointSets;
+use crate::ids::RequestTypeId;
+use crate::path::ExecutionPath;
+
+/// The partition of all request types into dependency groups, together with
+/// the pairwise classifications that produced it.
+///
+/// # Example
+///
+/// ```
+/// use callgraph::{DependencyGroups, ExecutionPath, RequestTypeId, ServiceId};
+/// use simnet::SimDuration;
+///
+/// let ms = SimDuration::from_millis;
+/// let paths = vec![
+///     ExecutionPath::from_chain(RequestTypeId::new(0),
+///         vec![(ServiceId::new(0), ms(1)), (ServiceId::new(1), ms(9))]),
+///     ExecutionPath::from_chain(RequestTypeId::new(1),
+///         vec![(ServiceId::new(0), ms(1)), (ServiceId::new(2), ms(9))]),
+///     ExecutionPath::from_chain(RequestTypeId::new(2),
+///         vec![(ServiceId::new(3), ms(1)), (ServiceId::new(4), ms(9))]),
+/// ];
+/// let groups = DependencyGroups::from_ground_truth(&paths);
+/// assert_eq!(groups.len(), 2); // {0,1} share a gateway; {2} is alone
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DependencyGroups {
+    groups: Vec<Vec<RequestTypeId>>,
+    /// Serialised as a sequence of `((a, b), dep)` entries: JSON and
+    /// friends cannot key maps by tuples.
+    #[serde(with = "pairs_as_seq")]
+    pairwise: BTreeMap<(RequestTypeId, RequestTypeId), PairwiseDependency>,
+}
+
+/// Serde adapter: tuple-keyed map <-> sequence of pairs.
+mod pairs_as_seq {
+    use std::collections::BTreeMap;
+
+    use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+    use crate::depgraph::PairwiseDependency;
+    use crate::ids::RequestTypeId;
+
+    type Key = (RequestTypeId, RequestTypeId);
+
+    pub fn serialize<S: Serializer>(
+        map: &BTreeMap<Key, PairwiseDependency>,
+        ser: S,
+    ) -> Result<S::Ok, S::Error> {
+        let entries: Vec<(Key, PairwiseDependency)> =
+            map.iter().map(|(k, v)| (*k, *v)).collect();
+        entries.serialize(ser)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(
+        de: D,
+    ) -> Result<BTreeMap<Key, PairwiseDependency>, D::Error> {
+        let entries = Vec::<(Key, PairwiseDependency)>::deserialize(de)?;
+        Ok(entries.into_iter().collect())
+    }
+}
+
+impl DependencyGroups {
+    /// Builds groups from ground-truth path structure (administrator view).
+    pub fn from_ground_truth(paths: &[ExecutionPath]) -> Self {
+        Self::from_ground_truth_filtered(paths, |_| true)
+    }
+
+    /// [`DependencyGroups::from_ground_truth`] restricted to blockable
+    /// services: shared services failing `is_blockable` (e.g. an nginx
+    /// frontend with an effectively unbounded worker pool) cannot relay
+    /// blocking and do not merge groups.
+    pub fn from_ground_truth_filtered(
+        paths: &[ExecutionPath],
+        is_blockable: impl Fn(crate::ids::ServiceId) -> bool,
+    ) -> Self {
+        let mut pairwise = BTreeMap::new();
+        for i in 0..paths.len() {
+            for j in (i + 1)..paths.len() {
+                let (a, b) = (&paths[i], &paths[j]);
+                let dep = crate::depgraph::classify_pair_filtered(
+                    a,
+                    a.bottleneck_service(),
+                    b,
+                    b.bottleneck_service(),
+                    &is_blockable,
+                );
+                pairwise.insert((a.request_type(), b.request_type()), dep);
+            }
+        }
+        Self::from_pairwise(paths.iter().map(|p| p.request_type()).collect(), pairwise)
+    }
+
+    /// Builds groups from an explicit pairwise classification — this is the
+    /// constructor the blackbox profiler uses, and also the entry point for
+    /// tests that need hand-crafted relations.
+    ///
+    /// Keys may be in either orientation; missing pairs default to
+    /// [`PairwiseDependency::None`].
+    pub fn from_pairwise(
+        members: Vec<RequestTypeId>,
+        pairwise: BTreeMap<(RequestTypeId, RequestTypeId), PairwiseDependency>,
+    ) -> Self {
+        let index: BTreeMap<RequestTypeId, usize> =
+            members.iter().enumerate().map(|(i, id)| (*id, i)).collect();
+        let mut sets = DisjointSets::new(members.len());
+        let mut canonical = BTreeMap::new();
+        for (&(a, b), &dep) in &pairwise {
+            let key = if a <= b { (a, b) } else { (b, a) };
+            canonical.insert(key, dep);
+            if dep.is_dependent() {
+                if let (Some(&ia), Some(&ib)) = (index.get(&a), index.get(&b)) {
+                    sets.union(ia, ib);
+                }
+            }
+        }
+        let groups = sets
+            .groups()
+            .into_iter()
+            .map(|g| g.into_iter().map(|i| members[i]).collect())
+            .collect();
+        DependencyGroups {
+            groups,
+            pairwise: canonical,
+        }
+    }
+
+    /// The groups, each sorted by request-type id, ordered by their
+    /// smallest member.
+    pub fn groups(&self) -> &[Vec<RequestTypeId>] {
+        &self.groups
+    }
+
+    /// Number of groups.
+    pub fn len(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// `true` when there are no groups (no request types).
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+
+    /// The group containing `id`, if any.
+    pub fn group_of(&self, id: RequestTypeId) -> Option<&[RequestTypeId]> {
+        self.groups
+            .iter()
+            .find(|g| g.contains(&id))
+            .map(|g| g.as_slice())
+    }
+
+    /// The recorded classification for a pair, orientation-insensitive.
+    /// Unrecorded pairs return [`PairwiseDependency::None`].
+    pub fn pairwise(&self, a: RequestTypeId, b: RequestTypeId) -> PairwiseDependency {
+        let key = if a <= b { (a, b) } else { (b, a) };
+        self.pairwise
+            .get(&key)
+            .copied()
+            .unwrap_or(PairwiseDependency::None)
+    }
+
+    /// Iterates over all recorded pairs `(a, b, dependency)` with `a < b`.
+    pub fn pairs(
+        &self,
+    ) -> impl Iterator<Item = (RequestTypeId, RequestTypeId, PairwiseDependency)> + '_ {
+        self.pairwise.iter().map(|(&(a, b), &d)| (a, b, d))
+    }
+
+    /// Groups with at least two members — the ones worth attacking.
+    pub fn multi_member_groups(&self) -> impl Iterator<Item = &[RequestTypeId]> + '_ {
+        self.groups
+            .iter()
+            .filter(|g| g.len() > 1)
+            .map(|g| g.as_slice())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::ServiceId;
+    use simnet::SimDuration;
+
+    fn ms(v: u64) -> SimDuration {
+        SimDuration::from_millis(v)
+    }
+
+    fn chain(rt: u32, steps: &[(u32, u64)]) -> ExecutionPath {
+        ExecutionPath::from_chain(
+            RequestTypeId::new(rt),
+            steps
+                .iter()
+                .map(|&(s, d)| (ServiceId::new(s), ms(d)))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn ground_truth_groups_connected_components() {
+        let paths = vec![
+            chain(0, &[(0, 1), (1, 9)]),
+            chain(1, &[(0, 1), (2, 9)]), // parallel with 0 via gateway 0
+            chain(2, &[(3, 1), (4, 9)]), // independent
+            chain(3, &[(3, 1), (4, 2), (5, 9)]), // sequential with 2
+        ];
+        let groups = DependencyGroups::from_ground_truth(&paths);
+        assert_eq!(groups.len(), 2);
+        assert_eq!(
+            groups.group_of(RequestTypeId::new(0)).unwrap(),
+            &[RequestTypeId::new(0), RequestTypeId::new(1)]
+        );
+        assert_eq!(
+            groups.group_of(RequestTypeId::new(3)).unwrap(),
+            &[RequestTypeId::new(2), RequestTypeId::new(3)]
+        );
+        assert_eq!(
+            groups.pairwise(RequestTypeId::new(1), RequestTypeId::new(0)),
+            PairwiseDependency::Parallel
+        );
+    }
+
+    #[test]
+    fn pairwise_lookup_is_symmetric() {
+        let paths = vec![chain(0, &[(0, 1), (1, 9)]), chain(1, &[(0, 1), (2, 9)])];
+        let g = DependencyGroups::from_ground_truth(&paths);
+        assert_eq!(
+            g.pairwise(RequestTypeId::new(0), RequestTypeId::new(1)),
+            g.pairwise(RequestTypeId::new(1), RequestTypeId::new(0)),
+        );
+    }
+
+    #[test]
+    fn unknown_pair_defaults_to_none() {
+        let g = DependencyGroups::from_ground_truth(&[chain(0, &[(0, 1)])]);
+        assert_eq!(
+            g.pairwise(RequestTypeId::new(0), RequestTypeId::new(42)),
+            PairwiseDependency::None
+        );
+    }
+
+    #[test]
+    fn multi_member_groups_filters_singletons() {
+        let paths = vec![
+            chain(0, &[(0, 1), (1, 9)]),
+            chain(1, &[(0, 1), (2, 9)]),
+            chain(2, &[(7, 9)]),
+        ];
+        let g = DependencyGroups::from_ground_truth(&paths);
+        let multi: Vec<_> = g.multi_member_groups().collect();
+        assert_eq!(multi.len(), 1);
+        assert_eq!(multi[0].len(), 2);
+    }
+
+    #[test]
+    fn from_pairwise_handles_reversed_keys() {
+        let members = vec![RequestTypeId::new(0), RequestTypeId::new(1)];
+        let mut pairwise = BTreeMap::new();
+        // Reversed orientation (b, a).
+        pairwise.insert(
+            (RequestTypeId::new(1), RequestTypeId::new(0)),
+            PairwiseDependency::Parallel,
+        );
+        let g = DependencyGroups::from_pairwise(members, pairwise);
+        assert_eq!(g.len(), 1);
+        assert_eq!(
+            g.pairwise(RequestTypeId::new(0), RequestTypeId::new(1)),
+            PairwiseDependency::Parallel
+        );
+    }
+
+    #[test]
+    fn pairs_iterates_in_canonical_order() {
+        let paths = vec![
+            chain(0, &[(0, 1), (1, 9)]),
+            chain(1, &[(0, 1), (2, 9)]),
+            chain(2, &[(9, 5)]),
+        ];
+        let g = DependencyGroups::from_ground_truth(&paths);
+        let pairs: Vec<_> = g.pairs().collect();
+        assert_eq!(pairs.len(), 3);
+        assert!(pairs.iter().all(|(a, b, _)| a < b));
+    }
+}

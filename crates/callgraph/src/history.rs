@@ -1,0 +1,272 @@
+//! Execution-history graphs recorded at runtime.
+//!
+//! A distributed trace of one request is a tree of *spans* (Fig 2a): the
+//! root span covers the whole request at the entry service and each RPC
+//! opens a child span at the downstream service. The *critical path* is the
+//! chain of spans that determined the end-to-end latency; we extract it with
+//! the standard last-returning-child walk (as in CRISP and Jaeger critical
+//! path analysis).
+//!
+//! These graphs serve the administrator's ground-truth pipeline
+//! (`telemetry` crate) — the attacker never sees them.
+
+use serde::{Deserialize, Serialize};
+use simnet::{SimDuration, SimTime};
+
+use crate::ids::ServiceId;
+
+/// Identifier of a span within one [`ExecutionHistory`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct SpanId(u32);
+
+impl SpanId {
+    /// Creates a span id from its dense index.
+    pub const fn new(index: u32) -> Self {
+        SpanId(index)
+    }
+
+    /// The dense index.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One service-side execution interval of a request.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Span {
+    /// This span's id.
+    pub id: SpanId,
+    /// Parent span, `None` for the root.
+    pub parent: Option<SpanId>,
+    /// Service that executed the span.
+    pub service: ServiceId,
+    /// When the service accepted the request (or the RPC arrived).
+    pub start: SimTime,
+    /// When the service replied.
+    pub end: SimTime,
+}
+
+impl Span {
+    /// Wall-clock length of the span.
+    pub fn duration(&self) -> SimDuration {
+        self.end.saturating_since(self.start)
+    }
+}
+
+/// The span tree of one completed request.
+///
+/// # Example
+///
+/// ```
+/// use callgraph::{ExecutionHistory, ServiceId};
+/// use simnet::SimTime;
+///
+/// let mut h = ExecutionHistory::new();
+/// let root = h.record(None, ServiceId::new(0), SimTime::from_millis(0), SimTime::from_millis(10));
+/// let _child = h.record(Some(root), ServiceId::new(1), SimTime::from_millis(2), SimTime::from_millis(9));
+/// let cp = h.critical_path().unwrap();
+/// assert_eq!(cp.services(), vec![ServiceId::new(0), ServiceId::new(1)]);
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ExecutionHistory {
+    spans: Vec<Span>,
+}
+
+impl ExecutionHistory {
+    /// Creates an empty history.
+    pub fn new() -> Self {
+        ExecutionHistory::default()
+    }
+
+    /// Appends a span and returns its id. The first recorded span with
+    /// `parent == None` is the root.
+    pub fn record(
+        &mut self,
+        parent: Option<SpanId>,
+        service: ServiceId,
+        start: SimTime,
+        end: SimTime,
+    ) -> SpanId {
+        let id = SpanId::new(self.spans.len() as u32);
+        self.spans.push(Span {
+            id,
+            parent,
+            service,
+            start,
+            end,
+        });
+        id
+    }
+
+    /// All recorded spans in recording order.
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+
+    /// The root span, if one was recorded.
+    pub fn root(&self) -> Option<&Span> {
+        self.spans.iter().find(|s| s.parent.is_none())
+    }
+
+    /// Direct children of `parent`, in recording order.
+    pub fn children(&self, parent: SpanId) -> impl Iterator<Item = &Span> + '_ {
+        self.spans.iter().filter(move |s| s.parent == Some(parent))
+    }
+
+    /// End-to-end latency (root span duration). `None` without a root.
+    pub fn latency(&self) -> Option<SimDuration> {
+        self.root().map(Span::duration)
+    }
+
+    /// Extracts the critical path: starting at the root, repeatedly descend
+    /// into the child that *returned last*, because the parent could not
+    /// proceed before that reply. Returns `None` when no root exists.
+    pub fn critical_path(&self) -> Option<CriticalPath> {
+        let mut chain = Vec::new();
+        let mut cur = self.root()?;
+        loop {
+            chain.push(*cur);
+            let last_child = self.children(cur.id).max_by_key(|c| (c.end, c.id));
+            match last_child {
+                Some(c) => cur = c,
+                None => break,
+            }
+        }
+        Some(CriticalPath { spans: chain })
+    }
+}
+
+/// The latency-dominating chain of spans of one request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CriticalPath {
+    spans: Vec<Span>,
+}
+
+impl CriticalPath {
+    /// The chain of spans, root first.
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+
+    /// The services along the chain, root first.
+    pub fn services(&self) -> Vec<ServiceId> {
+        self.spans.iter().map(|s| s.service).collect()
+    }
+
+    /// The span on this path with the largest *self time* — time not
+    /// covered by its own critical-path child. This is the runtime
+    /// bottleneck estimate used for ground truth (the Collectl role in the
+    /// paper's live experiments).
+    pub fn bottleneck_service(&self) -> ServiceId {
+        let mut best = (SimDuration::ZERO, self.spans[0].service);
+        for (i, s) in self.spans.iter().enumerate() {
+            let child_time = self
+                .spans
+                .get(i + 1)
+                .map(Span::duration)
+                .unwrap_or(SimDuration::ZERO);
+            let self_time = s.duration().saturating_sub(child_time);
+            if self_time >= best.0 {
+                best = (self_time, s.service);
+            }
+        }
+        best.1
+    }
+
+    /// Number of spans on the path.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// `true` when the path has no spans (never produced by
+    /// [`ExecutionHistory::critical_path`]).
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    #[test]
+    fn critical_path_follows_last_returning_child() {
+        // Fig 2a: root A calls B and D; B calls C. D returns last at the
+        // top level, so the critical path is A -> D... unless B finishes
+        // later. Here B (via C) ends at 9, D ends at 6: path is A -> B -> C.
+        let mut h = ExecutionHistory::new();
+        let a = h.record(None, ServiceId::new(0), t(0), t(10));
+        let b = h.record(Some(a), ServiceId::new(1), t(1), t(9));
+        let _c = h.record(Some(b), ServiceId::new(2), t(2), t(8));
+        let _d = h.record(Some(a), ServiceId::new(3), t(1), t(6));
+        let cp = h.critical_path().unwrap();
+        assert_eq!(
+            cp.services(),
+            vec![ServiceId::new(0), ServiceId::new(1), ServiceId::new(2)]
+        );
+        assert_eq!(cp.len(), 3);
+    }
+
+    #[test]
+    fn bottleneck_is_largest_self_time() {
+        let mut h = ExecutionHistory::new();
+        // Root self time = 10-0 minus child 8 = 2; child self = 8-1 minus
+        // grandchild 2 = 5; grandchild self = 2.
+        let a = h.record(None, ServiceId::new(0), t(0), t(10));
+        let b = h.record(Some(a), ServiceId::new(1), t(1), t(9));
+        let _c = h.record(Some(b), ServiceId::new(2), t(3), t(5));
+        let cp = h.critical_path().unwrap();
+        assert_eq!(cp.bottleneck_service(), ServiceId::new(1));
+    }
+
+    #[test]
+    fn latency_is_root_duration() {
+        let mut h = ExecutionHistory::new();
+        h.record(None, ServiceId::new(0), t(5), t(25));
+        assert_eq!(h.latency(), Some(SimDuration::from_millis(20)));
+    }
+
+    #[test]
+    fn empty_history_has_no_root() {
+        let h = ExecutionHistory::new();
+        assert!(h.root().is_none());
+        assert!(h.critical_path().is_none());
+        assert!(h.latency().is_none());
+    }
+
+    #[test]
+    fn single_span_path() {
+        let mut h = ExecutionHistory::new();
+        h.record(None, ServiceId::new(4), t(0), t(3));
+        let cp = h.critical_path().unwrap();
+        assert_eq!(cp.services(), vec![ServiceId::new(4)]);
+        assert_eq!(cp.bottleneck_service(), ServiceId::new(4));
+        assert!(!cp.is_empty());
+    }
+
+    #[test]
+    fn children_iterates_only_direct() {
+        let mut h = ExecutionHistory::new();
+        let a = h.record(None, ServiceId::new(0), t(0), t(10));
+        let b = h.record(Some(a), ServiceId::new(1), t(1), t(2));
+        let _grandchild = h.record(Some(b), ServiceId::new(2), t(1), t(2));
+        assert_eq!(h.children(a).count(), 1);
+        assert_eq!(h.children(b).count(), 1);
+    }
+
+    #[test]
+    fn tie_on_end_prefers_later_recorded_child() {
+        let mut h = ExecutionHistory::new();
+        let a = h.record(None, ServiceId::new(0), t(0), t(10));
+        h.record(Some(a), ServiceId::new(1), t(1), t(5));
+        h.record(Some(a), ServiceId::new(2), t(1), t(5));
+        let cp = h.critical_path().unwrap();
+        assert_eq!(cp.services()[1], ServiceId::new(2));
+    }
+}

@@ -1,0 +1,259 @@
+//! Execution paths — the chain-of-services view of a request type.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+use simnet::SimDuration;
+
+use crate::ids::{RequestTypeId, ServiceId};
+use crate::spec::{PathStep, RequestTypeSpec};
+
+/// The critical path of a request type: an ordered chain of service visits,
+/// entry service first (Fig 2c of the paper).
+///
+/// The path knows where its own *bottleneck* sits — the step with the
+/// largest compute demand — which is what the dependency taxonomy
+/// (Definitions I and II) is phrased in terms of.
+///
+/// # Example
+///
+/// ```
+/// use callgraph::{ExecutionPath, ServiceId};
+/// use simnet::SimDuration;
+///
+/// let path = ExecutionPath::from_chain(
+///     callgraph::RequestTypeId::new(0),
+///     vec![
+///         (ServiceId::new(0), SimDuration::from_millis(1)),
+///         (ServiceId::new(1), SimDuration::from_millis(9)),
+///         (ServiceId::new(2), SimDuration::from_millis(3)),
+///     ],
+/// );
+/// assert_eq!(path.bottleneck_index(), 1);
+/// assert_eq!(path.bottleneck_service(), ServiceId::new(1));
+/// assert!(path.is_upstream_of(ServiceId::new(0), ServiceId::new(2)).unwrap());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExecutionPath {
+    request_type: RequestTypeId,
+    steps: Vec<PathStep>,
+    bottleneck: usize,
+}
+
+impl ExecutionPath {
+    /// Builds the path from a request-type spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec has no steps.
+    pub fn from_spec(spec: &RequestTypeSpec) -> Self {
+        Self::from_steps(spec.id, spec.steps.clone())
+    }
+
+    /// Builds a path from a raw `(service, demand)` chain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the chain is empty.
+    pub fn from_chain(request_type: RequestTypeId, chain: Vec<(ServiceId, SimDuration)>) -> Self {
+        Self::from_steps(
+            request_type,
+            chain
+                .into_iter()
+                .map(|(service, demand)| PathStep { service, demand })
+                .collect(),
+        )
+    }
+
+    fn from_steps(request_type: RequestTypeId, steps: Vec<PathStep>) -> Self {
+        assert!(!steps.is_empty(), "execution path needs at least one step");
+        let bottleneck = steps
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, s)| s.demand)
+            .map(|(i, _)| i)
+            .expect("non-empty");
+        ExecutionPath {
+            request_type,
+            steps,
+            bottleneck,
+        }
+    }
+
+    /// The request type that triggers this path.
+    pub fn request_type(&self) -> RequestTypeId {
+        self.request_type
+    }
+
+    /// The ordered steps, entry service first.
+    pub fn steps(&self) -> &[PathStep] {
+        &self.steps
+    }
+
+    /// Number of service visits.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// `true` for a single-service path.
+    pub fn is_empty(&self) -> bool {
+        false // construction rejects empty paths
+    }
+
+    /// Index (position along the chain) of the bottleneck step.
+    pub fn bottleneck_index(&self) -> usize {
+        self.bottleneck
+    }
+
+    /// The bottleneck service — the step with the largest compute demand.
+    pub fn bottleneck_service(&self) -> ServiceId {
+        self.steps[self.bottleneck].service
+    }
+
+    /// Mean demand at the bottleneck step.
+    pub fn bottleneck_demand(&self) -> SimDuration {
+        self.steps[self.bottleneck].demand
+    }
+
+    /// Sum of mean demands along the whole chain.
+    pub fn total_demand(&self) -> SimDuration {
+        self.steps
+            .iter()
+            .fold(SimDuration::ZERO, |acc, s| acc + s.demand)
+    }
+
+    /// Position of `service` along this path, if visited.
+    pub fn position(&self, service: ServiceId) -> Option<usize> {
+        self.steps.iter().position(|s| s.service == service)
+    }
+
+    /// `true` when this path visits `service`.
+    pub fn visits(&self, service: ServiceId) -> bool {
+        self.position(service).is_some()
+    }
+
+    /// Whether `a` is strictly upstream of `b` along this path.
+    ///
+    /// Returns `None` when either service is not on the path.
+    pub fn is_upstream_of(&self, a: ServiceId, b: ServiceId) -> Option<bool> {
+        Some(self.position(a)? < self.position(b)?)
+    }
+
+    /// Services shared with another path, in this path's order.
+    pub fn shared_services(&self, other: &ExecutionPath) -> Vec<ServiceId> {
+        self.steps
+            .iter()
+            .map(|s| s.service)
+            .filter(|s| other.visits(*s))
+            .collect()
+    }
+
+    /// Services strictly upstream of this path's bottleneck.
+    pub fn upstream_of_bottleneck(&self) -> &[PathStep] {
+        &self.steps[..self.bottleneck]
+    }
+
+    /// Services strictly downstream of this path's bottleneck.
+    pub fn downstream_of_bottleneck(&self) -> &[PathStep] {
+        &self.steps[self.bottleneck + 1..]
+    }
+}
+
+impl fmt::Display for ExecutionPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: ", self.request_type)?;
+        for (i, s) in self.steps.iter().enumerate() {
+            if i > 0 {
+                write!(f, " -> ")?;
+            }
+            if i == self.bottleneck {
+                write!(f, "[{}]", s.service)?;
+            } else {
+                write!(f, "{}", s.service)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(demands_ms: &[u64]) -> ExecutionPath {
+        ExecutionPath::from_chain(
+            RequestTypeId::new(0),
+            demands_ms
+                .iter()
+                .enumerate()
+                .map(|(i, &d)| (ServiceId::new(i as u32), SimDuration::from_millis(d)))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn bottleneck_is_max_demand() {
+        let p = path(&[1, 9, 3]);
+        assert_eq!(p.bottleneck_index(), 1);
+        assert_eq!(p.bottleneck_demand(), SimDuration::from_millis(9));
+    }
+
+    #[test]
+    fn bottleneck_tie_prefers_downstream() {
+        // max_by_key returns the last max, i.e. the most downstream step —
+        // matching the intuition that deeper services saturate first when
+        // demands are equal (they also serve other paths).
+        let p = path(&[5, 5]);
+        assert_eq!(p.bottleneck_index(), 1);
+    }
+
+    #[test]
+    fn upstream_relation() {
+        let p = path(&[1, 2, 3]);
+        assert_eq!(
+            p.is_upstream_of(ServiceId::new(0), ServiceId::new(2)),
+            Some(true)
+        );
+        assert_eq!(
+            p.is_upstream_of(ServiceId::new(2), ServiceId::new(0)),
+            Some(false)
+        );
+        assert_eq!(p.is_upstream_of(ServiceId::new(9), ServiceId::new(0)), None);
+    }
+
+    #[test]
+    fn shared_services_ordered() {
+        let a = path(&[1, 2, 3]); // services 0,1,2
+        let b = ExecutionPath::from_chain(
+            RequestTypeId::new(1),
+            vec![
+                (ServiceId::new(0), SimDuration::from_millis(1)),
+                (ServiceId::new(2), SimDuration::from_millis(1)),
+            ],
+        );
+        assert_eq!(
+            a.shared_services(&b),
+            vec![ServiceId::new(0), ServiceId::new(2)]
+        );
+    }
+
+    #[test]
+    fn splits_around_bottleneck() {
+        let p = path(&[1, 9, 3]);
+        assert_eq!(p.upstream_of_bottleneck().len(), 1);
+        assert_eq!(p.downstream_of_bottleneck().len(), 1);
+        assert_eq!(p.total_demand(), SimDuration::from_millis(13));
+    }
+
+    #[test]
+    fn display_marks_bottleneck() {
+        let p = path(&[1, 9]);
+        assert_eq!(p.to_string(), "req#0: svc#0 -> [svc#1]");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one step")]
+    fn empty_chain_rejected() {
+        ExecutionPath::from_chain(RequestTypeId::new(0), vec![]);
+    }
+}

@@ -1,0 +1,178 @@
+//! Declarative specifications of services and request types.
+
+use serde::{Deserialize, Serialize};
+use simnet::SimDuration;
+
+use crate::ids::{RequestTypeId, ServiceId};
+
+/// Static description of one microservice.
+///
+/// Mirrors the paper's deployment unit: a container with a worker thread
+/// pool (the "queue size" `Q_i` of Table II — each queued request holds one
+/// server thread) running on a VM with a small number of cores (1 vCPU in
+/// the paper's cloud setups).
+///
+/// Built with a lightweight builder-style API:
+///
+/// ```
+/// use callgraph::ServiceSpec;
+///
+/// let spec = ServiceSpec::new("compose-post").threads(32).cores(1);
+/// assert_eq!(spec.name, "compose-post");
+/// assert_eq!(spec.threads, 32);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServiceSpec {
+    /// Human-readable service name (unique within a topology).
+    pub name: String,
+    /// Worker-thread pool size: the maximum number of requests admitted
+    /// concurrently (queue size `Q_i`).
+    pub threads: u32,
+    /// CPU cores per replica; compute segments of admitted requests share
+    /// these cores FIFO.
+    pub cores: u32,
+    /// Initial number of replicas (the auto-scaler may add more).
+    pub replicas: u32,
+    /// Coefficient of variation applied to compute demands at this service
+    /// (right-skewed lognormal jitter). Zero means deterministic demands.
+    pub demand_cv: f64,
+    /// Whether this service's thread pool can realistically fill and relay
+    /// blocking upstream. Frontend gateways / CDN-like tiers with very
+    /// large worker pools are effectively unblockable within stealthy
+    /// attack volumes and do not merge dependency groups.
+    pub blockable: bool,
+}
+
+impl ServiceSpec {
+    /// Creates a spec with the paper's defaults: 32 threads, 1 core,
+    /// 1 replica, mild demand jitter.
+    pub fn new(name: impl Into<String>) -> Self {
+        ServiceSpec {
+            name: name.into(),
+            threads: 32,
+            cores: 1,
+            replicas: 1,
+            demand_cv: 0.1,
+            blockable: true,
+        }
+    }
+
+    /// Sets the worker-thread pool size.
+    pub fn threads(mut self, threads: u32) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Sets the number of cores per replica.
+    pub fn cores(mut self, cores: u32) -> Self {
+        self.cores = cores;
+        self
+    }
+
+    /// Sets the initial replica count.
+    pub fn replicas(mut self, replicas: u32) -> Self {
+        self.replicas = replicas;
+        self
+    }
+
+    /// Sets the compute-demand coefficient of variation.
+    pub fn demand_cv(mut self, cv: f64) -> Self {
+        self.demand_cv = cv;
+        self
+    }
+
+    /// Marks the service as (un)blockable; see the field docs.
+    pub fn blockable(mut self, blockable: bool) -> Self {
+        self.blockable = blockable;
+        self
+    }
+}
+
+/// One step of an execution path: a visit to a service with a mean compute
+/// demand.
+///
+/// In the runtime model the demand is split evenly into a pre-call and a
+/// post-call compute segment around the downstream RPC (if any); see the
+/// `microsim` crate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PathStep {
+    /// The service visited at this step.
+    pub service: ServiceId,
+    /// Mean CPU demand consumed at this service per request.
+    pub demand: SimDuration,
+}
+
+/// Static description of one user-request type.
+///
+/// The paper treats each public HTTP request type as triggering one critical
+/// path — a chain of services from the entry/gateway service downward
+/// (Fig 2c). `steps[0]` is the entry service.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RequestTypeSpec {
+    /// Identifier, dense within the owning topology.
+    pub id: RequestTypeId,
+    /// Human-readable name, e.g. `"compose-post"`.
+    pub name: String,
+    /// The chain of service visits; `steps[0]` is the entry service.
+    pub steps: Vec<PathStep>,
+    /// Mean response payload size in bytes (for network-traffic accounting
+    /// at the gateway, Tables I/III report MB/s).
+    pub response_bytes: u64,
+    /// Mean request payload size in bytes.
+    pub request_bytes: u64,
+}
+
+impl RequestTypeSpec {
+    /// Total mean compute demand across the whole chain — a lower bound on
+    /// the request's response time in an idle system.
+    pub fn total_demand(&self) -> SimDuration {
+        self.steps
+            .iter()
+            .fold(SimDuration::ZERO, |acc, s| acc + s.demand)
+    }
+
+    /// The services visited, in upstream→downstream order.
+    pub fn services(&self) -> impl Iterator<Item = ServiceId> + '_ {
+        self.steps.iter().map(|s| s.service)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn service_spec_builder_chains() {
+        let s = ServiceSpec::new("svc")
+            .threads(8)
+            .cores(2)
+            .replicas(3)
+            .demand_cv(0.0);
+        assert_eq!(s.threads, 8);
+        assert_eq!(s.cores, 2);
+        assert_eq!(s.replicas, 3);
+        assert_eq!(s.demand_cv, 0.0);
+    }
+
+    #[test]
+    fn total_demand_sums_steps() {
+        let spec = RequestTypeSpec {
+            id: RequestTypeId::new(0),
+            name: "t".into(),
+            steps: vec![
+                PathStep {
+                    service: ServiceId::new(0),
+                    demand: SimDuration::from_millis(2),
+                },
+                PathStep {
+                    service: ServiceId::new(1),
+                    demand: SimDuration::from_millis(5),
+                },
+            ],
+            response_bytes: 0,
+            request_bytes: 0,
+        };
+        assert_eq!(spec.total_demand(), SimDuration::from_millis(7));
+        assert_eq!(spec.services().count(), 2);
+    }
+}

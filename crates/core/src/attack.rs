@@ -1,0 +1,96 @@
+//! Campaign orchestration: profile, then attack.
+//!
+//! [`GruntCampaign::run`] drives the full pipeline the paper's attacker
+//! follows against a live target: run the blackbox Profiler to completion,
+//! build a Commander from the learned dependency groups, then attack for
+//! the requested window. It exists so examples, tests and every experiment
+//! harness share one battle-tested driver.
+
+use microsim::Simulation;
+use simnet::{SimDuration, SimTime};
+
+use crate::commander::{CommanderConfig, GruntCommander};
+use crate::profiler::{Profiler, ProfilerConfig, ProfilerOutcome};
+use crate::report::AttackReport;
+
+/// Configuration of a full campaign.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CampaignConfig {
+    /// Profiler knobs.
+    pub profiler: ProfilerConfig,
+    /// Commander knobs (`stop_at` is overwritten by the attack window).
+    pub commander: CommanderConfig,
+}
+
+/// Result of a full campaign.
+#[derive(Debug, Clone)]
+pub struct GruntCampaign {
+    /// What the Profiler learned.
+    pub profile: ProfilerOutcome,
+    /// The Commander's campaign log.
+    pub report: AttackReport,
+    /// Final bot-farm size.
+    pub bots_used: usize,
+    /// When the attack (not the profiling) started.
+    pub attack_started: SimTime,
+    /// Active paths per group at campaign end.
+    pub active_paths: Vec<usize>,
+}
+
+impl GruntCampaign {
+    /// Runs profiling to completion, then attacks for `attack_window`.
+    ///
+    /// The simulation must already contain the target application and any
+    /// background workload agents; it is advanced in place (first through
+    /// the profiling phase, then through the attack window).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profiler fails to finish within a generous horizon
+    /// (24 simulated hours) — that indicates a mis-configured target.
+    pub fn run(
+        sim: &mut Simulation,
+        config: CampaignConfig,
+        attack_window: SimDuration,
+    ) -> GruntCampaign {
+        let profiler_id = sim.add_agent(Box::new(Profiler::new(config.profiler)));
+        let horizon = sim.now() + SimDuration::from_secs(24 * 3600);
+        loop {
+            let next = sim.now() + SimDuration::from_secs(10);
+            sim.run_until(next);
+            let done = sim
+                .agent_as::<Profiler>(profiler_id)
+                .expect("profiler registered")
+                .is_done();
+            if done {
+                break;
+            }
+            assert!(sim.now() < horizon, "profiler did not converge");
+        }
+        let profile = sim
+            .agent_as::<Profiler>(profiler_id)
+            .expect("profiler registered")
+            .outcome()
+            .expect("done implies outcome")
+            .clone();
+
+        let attack_started = sim.now();
+        let commander_cfg = CommanderConfig {
+            stop_at: attack_started + attack_window,
+            ..config.commander
+        };
+        let commander_id = sim.add_agent(Box::new(GruntCommander::new(&profile, commander_cfg)));
+        sim.run_until(attack_started + attack_window);
+
+        let commander = sim
+            .agent_as::<GruntCommander>(commander_id)
+            .expect("commander registered");
+        GruntCampaign {
+            profile,
+            report: commander.report().clone(),
+            bots_used: commander.bots(),
+            attack_started,
+            active_paths: commander.active_paths(),
+        }
+    }
+}

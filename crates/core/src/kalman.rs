@@ -1,0 +1,151 @@
+//! Scalar Kalman filtering for noisy client-side estimates.
+//!
+//! The Commander observes `P_MB` and `t_min` through single-burst
+//! measurements that carry substantial noise (background workload,
+//! demand jitter). A one-dimensional Kalman filter with a random-walk
+//! state model smooths these observations while still tracking drifts of
+//! the system state (replica scaling, workload swings) — exactly the role
+//! the paper assigns it in Section IV-D.
+
+/// A one-dimensional Kalman filter over a random-walk state.
+///
+/// # Example
+///
+/// ```
+/// use grunt::ScalarKalman;
+///
+/// let mut k = ScalarKalman::new(1.0, 25.0);
+/// for z in [100.0, 120.0, 90.0, 110.0] {
+///     k.update(z);
+/// }
+/// let est = k.estimate().unwrap();
+/// assert!((90.0..=120.0).contains(&est));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScalarKalman {
+    /// Process-noise variance `q`: how fast the true value may drift.
+    q: f64,
+    /// Measurement-noise variance `r`: how noisy one observation is.
+    r: f64,
+    state: Option<(f64, f64)>, // (estimate, error covariance)
+}
+
+impl ScalarKalman {
+    /// Creates a filter with process-noise variance `q` and
+    /// measurement-noise variance `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either variance is not positive and finite.
+    pub fn new(q: f64, r: f64) -> Self {
+        assert!(q.is_finite() && q > 0.0, "process noise must be positive");
+        assert!(
+            r.is_finite() && r > 0.0,
+            "measurement noise must be positive"
+        );
+        ScalarKalman { q, r, state: None }
+    }
+
+    /// Incorporates one measurement and returns the new estimate.
+    ///
+    /// The first measurement initialises the state directly. Non-finite
+    /// measurements are ignored (the previous estimate is returned).
+    pub fn update(&mut self, z: f64) -> f64 {
+        if !z.is_finite() {
+            return self.state.map(|(x, _)| x).unwrap_or(0.0);
+        }
+        match self.state {
+            None => {
+                self.state = Some((z, self.r));
+                z
+            }
+            Some((x, p)) => {
+                let p_pred = p + self.q;
+                let k = p_pred / (p_pred + self.r);
+                let x_new = x + k * (z - x);
+                let p_new = (1.0 - k) * p_pred;
+                self.state = Some((x_new, p_new));
+                x_new
+            }
+        }
+    }
+
+    /// The current estimate, if any measurement arrived yet.
+    pub fn estimate(&self) -> Option<f64> {
+        self.state.map(|(x, _)| x)
+    }
+
+    /// The current error covariance, if initialised.
+    pub fn covariance(&self) -> Option<f64> {
+        self.state.map(|(_, p)| p)
+    }
+
+    /// Discards all state (e.g. after a scaling event invalidates the
+    /// model).
+    pub fn reset(&mut self) {
+        self.state = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_measurement_initialises() {
+        let mut k = ScalarKalman::new(1.0, 10.0);
+        assert_eq!(k.estimate(), None);
+        assert_eq!(k.update(42.0), 42.0);
+        assert_eq!(k.estimate(), Some(42.0));
+    }
+
+    #[test]
+    fn smooths_noise_toward_mean() {
+        let mut k = ScalarKalman::new(0.01, 100.0);
+        // Noisy measurements around 50.
+        let measurements = [60.0, 40.0, 55.0, 45.0, 52.0, 48.0, 58.0, 42.0];
+        let mut last = 0.0;
+        for z in measurements {
+            last = k.update(z);
+        }
+        assert!((last - 50.0).abs() < 5.0, "estimate {last}");
+        // Filter variance shrinks below a single measurement's.
+        assert!(k.covariance().unwrap() < 100.0);
+    }
+
+    #[test]
+    fn tracks_drift() {
+        let mut k = ScalarKalman::new(5.0, 10.0);
+        for z in [10.0; 10] {
+            k.update(z);
+        }
+        for z in [100.0; 10] {
+            k.update(z);
+        }
+        let est = k.estimate().unwrap();
+        assert!(est > 90.0, "should track the jump, got {est}");
+    }
+
+    #[test]
+    fn ignores_non_finite() {
+        let mut k = ScalarKalman::new(1.0, 1.0);
+        k.update(10.0);
+        assert_eq!(k.update(f64::NAN), 10.0);
+        assert_eq!(k.update(f64::INFINITY), 10.0);
+        assert_eq!(k.estimate(), Some(10.0));
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut k = ScalarKalman::new(1.0, 1.0);
+        k.update(5.0);
+        k.reset();
+        assert_eq!(k.estimate(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "process noise")]
+    fn zero_process_noise_rejected() {
+        ScalarKalman::new(0.0, 1.0);
+    }
+}

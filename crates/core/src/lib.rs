@@ -1,0 +1,63 @@
+//! The Grunt attack framework — the paper's primary contribution.
+//!
+//! Grunt is a low-volume DDoS attack on microservice applications that
+//! exploits *execution dependencies* between the critical paths of
+//! different public request types. The framework has three modules
+//! (Section IV, Fig 7), all operating strictly blackbox through the
+//! external-client interface ([`microsim::SimCtx`]):
+//!
+//! * **Monitor** ([`monitor`]) — estimates, from client-side timestamps
+//!   only, the millibottleneck length `P_MB` created by each burst (end
+//!   time of the last request minus end time of the first, Fig 8) and the
+//!   damage latency `t_min` (average end-to-end RT of the burst).
+//! * **Profiler** ([`profiler`]) — crawls the public request catalogue,
+//!   measures per-type baselines, finds each type's minimum saturating
+//!   volume, probes every ordered pair for performance interference at
+//!   increasing volumes, classifies pairs (none / parallel / sequential /
+//!   shared bottleneck) and assembles dependency groups (Section IV-C).
+//! * **Commander** ([`commander`]) — initialises per-path burst
+//!   parameters, then runs the alternating-burst attack against every
+//!   dependency group, adapting burst volume and inter-burst interval
+//!   with Kalman-filtered feedback to hold the damage goal
+//!   (`avg RT >= 1 s`) under the stealth goal (`P_MB <= 500 ms`)
+//!   (Section IV-D).
+//!
+//! Supporting pieces: [`kalman`] (scalar Kalman filter), [`botfarm`]
+//! (bot identity pool sized against per-IP rate rules and the
+//! inter-request-interval IDS rule), and [`report`] (attack-side
+//! bookkeeping the experiments read out).
+//!
+//! # Typical usage
+//!
+//! ```no_run
+//! use grunt::{CampaignConfig, GruntCampaign};
+//! # let app = apps::social_network(7_000);
+//! # let mut sim = microsim::Simulation::new(app.topology().clone(), microsim::SimConfig::default());
+//! // Run the profiling phase, then attack for 20 minutes:
+//! let campaign = GruntCampaign::run(
+//!     &mut sim,
+//!     CampaignConfig::default(),
+//!     simnet::SimDuration::from_secs(1200),
+//! );
+//! println!(
+//!     "{} bursts from {} bots",
+//!     campaign.report.bursts.len(),
+//!     campaign.bots_used
+//! );
+//! ```
+
+pub mod attack;
+pub mod botfarm;
+pub mod commander;
+pub mod kalman;
+pub mod monitor;
+pub mod profiler;
+pub mod report;
+
+pub use attack::{CampaignConfig, GruntCampaign};
+pub use botfarm::BotFarm;
+pub use commander::{CommanderConfig, GruntCommander};
+pub use kalman::ScalarKalman;
+pub use monitor::BurstObservation;
+pub use profiler::{PairObservation, Profiler, ProfilerConfig, ProfilerOutcome};
+pub use report::{AttackReport, BurstRecord};

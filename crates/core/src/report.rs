@@ -1,0 +1,134 @@
+//! Attack-side bookkeeping the experiments read out.
+
+use callgraph::RequestTypeId;
+use simnet::{SimDuration, SimTime};
+
+/// One completed attacking burst.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BurstRecord {
+    /// Index of the dependency group attacked.
+    pub group: usize,
+    /// The attacked critical path.
+    pub path: RequestTypeId,
+    /// Burst start.
+    pub started: SimTime,
+    /// Requests in the burst (`V = B * L`).
+    pub volume: u32,
+    /// Monitor's millibottleneck-length estimate.
+    pub pmb_estimate: Option<SimDuration>,
+    /// Monitor's damage-latency estimate (mean burst RT, ms).
+    pub avg_rt_ms: Option<f64>,
+}
+
+/// The Commander's campaign log.
+#[derive(Debug, Clone, Default)]
+pub struct AttackReport {
+    /// Completed bursts in launch order.
+    pub bursts: Vec<BurstRecord>,
+    /// Total attack requests sent (profiling excluded).
+    pub requests_sent: u64,
+    /// Kalman-filtered `t_min` per group over time: `(time, group, ms)`.
+    pub tmin_series: Vec<(SimTime, usize, f64)>,
+    /// Adapted per-burst volume over time: `(time, group, volume)` —
+    /// Fig 15c plots this.
+    pub volume_series: Vec<(SimTime, usize, u32)>,
+}
+
+impl AttackReport {
+    /// Mean of the Monitor's millibottleneck estimates, over bursts that
+    /// produced one.
+    pub fn mean_pmb(&self) -> Option<SimDuration> {
+        let lengths: Vec<u64> = self
+            .bursts
+            .iter()
+            .filter_map(|b| b.pmb_estimate.map(|d| d.as_micros()))
+            .collect();
+        if lengths.is_empty() {
+            return None;
+        }
+        Some(SimDuration::from_micros(
+            lengths.iter().sum::<u64>() / lengths.len() as u64,
+        ))
+    }
+
+    /// Fraction of bursts whose millibottleneck estimate stayed within
+    /// `limit`.
+    pub fn stealth_compliance(&self, limit: SimDuration) -> f64 {
+        let with_est: Vec<&BurstRecord> = self
+            .bursts
+            .iter()
+            .filter(|b| b.pmb_estimate.is_some())
+            .collect();
+        if with_est.is_empty() {
+            return 1.0;
+        }
+        let ok = with_est
+            .iter()
+            .filter(|b| b.pmb_estimate.expect("filtered") <= limit)
+            .count();
+        ok as f64 / with_est.len() as f64
+    }
+
+    /// Bursts that attacked a given group.
+    pub fn bursts_for_group(&self, group: usize) -> impl Iterator<Item = &BurstRecord> + '_ {
+        self.bursts.iter().filter(move |b| b.group == group)
+    }
+
+    /// Total volume (requests) sent during the campaign window.
+    pub fn total_volume(&self) -> u64 {
+        self.bursts.iter().map(|b| u64::from(b.volume)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(group: usize, pmb_ms: Option<u64>, volume: u32) -> BurstRecord {
+        BurstRecord {
+            group,
+            path: RequestTypeId::new(0),
+            started: SimTime::ZERO,
+            volume,
+            pmb_estimate: pmb_ms.map(SimDuration::from_millis),
+            avg_rt_ms: Some(100.0),
+        }
+    }
+
+    #[test]
+    fn mean_pmb_averages_present_estimates() {
+        let report = AttackReport {
+            bursts: vec![
+                rec(0, Some(400), 10),
+                rec(0, Some(200), 10),
+                rec(0, None, 10),
+            ],
+            ..AttackReport::default()
+        };
+        assert_eq!(report.mean_pmb(), Some(SimDuration::from_millis(300)));
+    }
+
+    #[test]
+    fn stealth_compliance_fraction() {
+        let report = AttackReport {
+            bursts: vec![rec(0, Some(400), 10), rec(0, Some(700), 10)],
+            ..AttackReport::default()
+        };
+        assert_eq!(
+            report.stealth_compliance(SimDuration::from_millis(500)),
+            0.5
+        );
+        let empty = AttackReport::default();
+        assert_eq!(empty.stealth_compliance(SimDuration::from_millis(500)), 1.0);
+    }
+
+    #[test]
+    fn group_filter_and_volume() {
+        let report = AttackReport {
+            bursts: vec![rec(0, None, 10), rec(1, None, 20), rec(0, None, 30)],
+            ..AttackReport::default()
+        };
+        assert_eq!(report.bursts_for_group(0).count(), 2);
+        assert_eq!(report.total_volume(), 60);
+    }
+}

@@ -1,0 +1,183 @@
+//! End-to-end integration tests for the Grunt attack pipeline against the
+//! SocialNetwork application: profiling accuracy, damage, and stealth.
+
+use apps::social_network;
+use defense::{AlertKind, Ids, IdsConfig, RateShield};
+use grunt::{CampaignConfig, GruntCampaign};
+use microsim::{SimConfig, Simulation};
+use simnet::{SimDuration, SimTime};
+use telemetry::{GroundTruth, LatencySummary, ProfilerScore, Traffic};
+use workload::ClosedLoopUsers;
+
+const USERS: usize = 4_000;
+const ATTACK_SECS: u64 = 120;
+
+/// Runs the complete pipeline once; several assertions share it to avoid
+/// repeating the (relatively) expensive simulation.
+fn run_campaign() -> (Simulation, GruntCampaign) {
+    let app = social_network(USERS);
+    let mut sim = Simulation::new(app.topology().clone(), SimConfig::default().seed(11));
+    sim.add_agent(Box::new(ClosedLoopUsers::new(
+        USERS,
+        app.browsing_model(),
+        77,
+    )));
+    sim.run_until(SimTime::from_secs(20)); // warm-up
+    let campaign = GruntCampaign::run(
+        &mut sim,
+        CampaignConfig::default(),
+        SimDuration::from_secs(ATTACK_SECS),
+    );
+    (sim, campaign)
+}
+
+#[test]
+fn full_campaign_meets_damage_and_stealth_goals() {
+    let app = social_network(USERS);
+    let (sim, campaign) = run_campaign();
+    let metrics = sim.metrics();
+
+    // ---- profiling accuracy (Fig 16 at moderate load) ----
+    let gt = GroundTruth::from_topology(app.topology());
+    let members: Vec<_> = campaign.profile.catalog.iter().map(|(id, _)| *id).collect();
+    let score = ProfilerScore::compute(&members, &gt, &campaign.profile.groups);
+    assert!(
+        score.f_score() > 0.85,
+        "profiler F-score {:.2} (P {:.2} R {:.2})",
+        score.f_score(),
+        score.precision(),
+        score.recall()
+    );
+    assert!(
+        campaign.profile.groups.multi_member_groups().count() >= 3,
+        "should find the three attackable groups"
+    );
+
+    // ---- damage (Table I shape) ----
+    let baseline = LatencySummary::compute(
+        metrics,
+        Traffic::Legit,
+        None,
+        SimTime::from_secs(5),
+        SimTime::from_secs(20),
+    );
+    let a0 = campaign.attack_started + SimDuration::from_secs(20);
+    let a1 = campaign.attack_started + SimDuration::from_secs(ATTACK_SECS);
+    let attacked = LatencySummary::compute(metrics, Traffic::Legit, None, a0, a1);
+    assert!(
+        baseline.avg_ms < 150.0,
+        "baseline avg {:.0} ms",
+        baseline.avg_ms
+    );
+    assert!(
+        attacked.avg_ms > 5.0 * baseline.avg_ms,
+        "damage factor {:.1}x (base {:.0} ms, attack {:.0} ms)",
+        attacked.avg_ms / baseline.avg_ms,
+        baseline.avg_ms,
+        attacked.avg_ms
+    );
+    assert!(
+        attacked.p95_ms > 10.0 * baseline.p95_ms,
+        "p95 damage {:.0} -> {:.0}",
+        baseline.p95_ms,
+        attacked.p95_ms
+    );
+
+    // ---- stealth: rule-based IDS and rate shield ----
+    let report = Ids::new(IdsConfig::default()).analyze(metrics);
+    assert_eq!(report.of_kind(AlertKind::Content).count(), 0);
+    assert_eq!(report.of_kind(AlertKind::Protocol).count(), 0);
+    let attacker_interval_hits = report
+        .of_kind(AlertKind::IntervalViolation)
+        .filter(|a| a.hit_attacker)
+        .count();
+    assert_eq!(
+        attacker_interval_hits, 0,
+        "bot farm must never trip the session-interval rule"
+    );
+    assert_eq!(
+        RateShield::paper_default().blocked_count(metrics),
+        0,
+        "no bot IP may exceed the per-IP budget"
+    );
+
+    // ---- stealth: millibottlenecks stay sub-second (white box) ----
+    let mbs = telemetry::find_millibottlenecks(metrics, 0.95);
+    let during_attack: Vec<_> = mbs
+        .iter()
+        .filter(|m| m.start >= campaign.attack_started)
+        .copied()
+        .collect();
+    let stats = telemetry::millibottleneck_stats(&during_attack, None);
+    assert!(stats.count > 10, "attack must create millibottlenecks");
+    assert!(
+        stats.mean_length < SimDuration::from_millis(600),
+        "mean millibottleneck {}",
+        stats.mean_length
+    );
+
+    // ---- attacker-side monitoring sanity ----
+    assert!(campaign.report.bursts.len() > 50);
+    let mean_pmb = campaign.report.mean_pmb().expect("bursts have estimates");
+    // Measured estimates include the burst pacing length.
+    assert!(
+        mean_pmb < SimDuration::from_millis(800),
+        "mean estimated P_MB {mean_pmb}"
+    );
+    assert!(campaign.bots_used > 100, "bots {}", campaign.bots_used);
+    assert!(campaign.report.requests_sent > 10_000);
+}
+
+#[test]
+fn attack_volume_is_low_relative_to_brute_force() {
+    let (sim, campaign) = run_campaign();
+    let metrics = sim.metrics();
+    // Attack request rate during the window vs the legitimate rate: Grunt
+    // must stay well below the baseline traffic it disturbs (low-volume
+    // property; brute-force needs a multiple of system capacity).
+    let window_s = ATTACK_SECS as f64;
+    let attack_rate = campaign.report.requests_sent as f64 / window_s;
+    let legit_rate = USERS as f64 / 7.0;
+    assert!(
+        attack_rate < legit_rate * 2.5,
+        "attack rate {attack_rate:.0}/s vs legit {legit_rate:.0}/s"
+    );
+}
+
+#[test]
+fn profiler_is_deterministic_given_seed() {
+    let run = |seed: u64| {
+        let app = social_network(1_000);
+        let mut sim = Simulation::new(app.topology().clone(), SimConfig::default().seed(seed));
+        sim.add_agent(Box::new(ClosedLoopUsers::new(
+            1_000,
+            app.browsing_model(),
+            5,
+        )));
+        let profiler = grunt::Profiler::new(grunt::ProfilerConfig::default());
+        let id = sim.add_agent(Box::new(profiler));
+        loop {
+            let next = sim.now() + SimDuration::from_secs(10);
+            sim.run_until(next);
+            if sim
+                .agent_as::<grunt::Profiler>(id)
+                .expect("registered")
+                .is_done()
+            {
+                break;
+            }
+            assert!(sim.now() < SimTime::from_secs(3_600), "no convergence");
+        }
+        let outcome = sim
+            .agent_as::<grunt::Profiler>(id)
+            .expect("registered")
+            .outcome()
+            .expect("done")
+            .clone();
+        (
+            outcome.v_sat.clone(),
+            outcome.groups.groups().iter().cloned().collect::<Vec<_>>(),
+        )
+    };
+    assert_eq!(run(3), run(3), "same seed, same profile");
+}

@@ -1,0 +1,140 @@
+//! Validates the Monitor module's blackbox estimators against white-box
+//! ground truth (the Fig 8 argument): the attacker's `P_MB` estimate —
+//! last completion minus first completion within a burst — must track the
+//! true millibottleneck length the burst created, conservatively.
+
+use callgraph::{RequestTypeId, ServiceId, ServiceSpec, TopologyBuilder};
+use grunt::BurstObservation;
+use microsim::{Agent, Origin, Response, SimConfig, SimCtx, Simulation};
+use simnet::{SimDuration, SimTime};
+use telemetry::find_millibottlenecks;
+
+/// An instant-volley burst agent that tracks its own observation.
+struct VolleyBurst {
+    rt: RequestTypeId,
+    volume: u32,
+    obs: Option<BurstObservation>,
+}
+
+impl Agent for VolleyBurst {
+    fn start(&mut self, ctx: &mut SimCtx<'_>) {
+        let mut obs = BurstObservation::new(self.rt, ctx.now(), self.volume);
+        for i in 0..self.volume {
+            let token = ctx.submit(self.rt, Origin::attack(1000 + i, u64::from(i)));
+            obs.track(token);
+        }
+        self.obs = Some(obs);
+    }
+
+    fn on_response(&mut self, _ctx: &mut SimCtx<'_>, response: &Response) {
+        if let Some(obs) = &mut self.obs {
+            obs.record(response);
+        }
+    }
+}
+
+#[test]
+fn pmb_estimate_tracks_white_box_bottleneck_length() {
+    // One bottleneck service with known capacity: 1 core at 10 ms demand
+    // = 100 req/s. An instant volley of V requests saturates it for
+    // V * 10 ms.
+    let mut b = TopologyBuilder::new();
+    let gw = b.add_service(
+        ServiceSpec::new("gw")
+            .threads(4096)
+            .cores(8)
+            .blockable(false)
+            .demand_cv(0.0),
+    );
+    let svc = b.add_service(ServiceSpec::new("svc").threads(512).cores(1).demand_cv(0.0));
+    b.add_request_type(
+        "r",
+        vec![
+            (gw, SimDuration::from_micros(100)),
+            (svc, SimDuration::from_millis(10)),
+        ],
+    );
+    let topo = b.build();
+
+    for volume in [20u32, 35, 48] {
+        let mut sim = Simulation::new(topo.clone(), SimConfig::default());
+        sim.run_until(SimTime::from_secs(1));
+        let id = sim.add_agent(Box::new(VolleyBurst {
+            rt: RequestTypeId::new(0),
+            volume,
+            obs: None,
+        }));
+        sim.run_until(SimTime::from_secs(10));
+
+        // White-box truth.
+        let mbs = find_millibottlenecks(sim.metrics(), 0.99);
+        let true_len = mbs
+            .iter()
+            .filter(|m| m.service == ServiceId::new(1))
+            .map(|m| m.length().as_millis_f64())
+            .fold(0.0, f64::max);
+
+        // Attacker's estimate.
+        let agent = sim.agent_as::<VolleyBurst>(id).expect("registered");
+        let obs = agent.obs.as_ref().expect("started");
+        assert!(obs.is_complete(), "volley of {volume} must complete");
+        let est = obs.pmb_estimate().expect("complete").as_millis_f64();
+
+        // The volley keeps the core busy for ~volume * 10 ms; the estimate
+        // undercounts by roughly one service time (it misses the first
+        // request's processing — the conservative direction the paper
+        // notes) and the white-box detector quantises to 100 ms windows.
+        let expected = f64::from(volume) * 10.0;
+        assert!(
+            (est - expected).abs() <= 15.0,
+            "volume {volume}: estimate {est:.0} ms vs analytic {expected:.0} ms"
+        );
+        assert!(
+            (true_len - expected).abs() <= 100.0,
+            "volume {volume}: white-box {true_len:.0} ms vs analytic {expected:.0} ms"
+        );
+        assert!(
+            est <= true_len + 100.0,
+            "estimate must be conservative up to window quantisation"
+        );
+    }
+}
+
+#[test]
+fn damage_estimate_matches_worst_queuing() {
+    // The burst's mean RT approximates the damage a victim arriving
+    // mid-bottleneck experiences: about half the drain time plus base RT.
+    let mut b = TopologyBuilder::new();
+    let gw = b.add_service(
+        ServiceSpec::new("gw")
+            .threads(4096)
+            .cores(8)
+            .blockable(false)
+            .demand_cv(0.0),
+    );
+    let svc = b.add_service(ServiceSpec::new("svc").threads(512).cores(1).demand_cv(0.0));
+    b.add_request_type(
+        "r",
+        vec![
+            (gw, SimDuration::from_micros(100)),
+            (svc, SimDuration::from_millis(10)),
+        ],
+    );
+    let mut sim = Simulation::new(b.build(), SimConfig::default());
+    sim.run_until(SimTime::from_secs(1));
+    let id = sim.add_agent(Box::new(VolleyBurst {
+        rt: RequestTypeId::new(0),
+        volume: 40,
+        obs: None,
+    }));
+    sim.run_until(SimTime::from_secs(10));
+    let agent = sim.agent_as::<VolleyBurst>(id).expect("registered");
+    let obs = agent.obs.as_ref().expect("started");
+    let avg = obs.avg_rt_ms().expect("complete");
+    // Volley of 40 at 10 ms each: request i waits ~i*10 ms, so the mean is
+    // ~(39/2)*10 + 10 ms service + ~1 ms overheads ≈ 206 ms.
+    assert!(
+        (avg - 206.0).abs() < 12.0,
+        "mean burst RT {avg:.0} ms vs analytic ~206 ms"
+    );
+}

@@ -1,0 +1,172 @@
+//! AWS-Shield-style per-IP rate limiting.
+
+use std::collections::HashMap;
+
+use microsim::Metrics;
+use simnet::{SimDuration, SimTime};
+
+/// Verdict of the shield for one source IP.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShieldVerdict {
+    /// The IP never exceeded the budget.
+    Allowed,
+    /// The IP would have been blocked starting at the given time.
+    Blocked(SimTime),
+}
+
+/// Per-IP request budget per rolling window (the paper cites AWS Shield's
+/// requests-per-IP-per-5-minutes limit as the rate-based bot defence the
+/// attacker sizes the bot farm against).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RateShield {
+    /// Window length (5 minutes by default).
+    pub window: SimDuration,
+    /// Maximum requests per IP per window.
+    pub max_per_window: u32,
+}
+
+impl RateShield {
+    /// Creates a shield.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is zero or the budget is zero.
+    pub fn new(window: SimDuration, max_per_window: u32) -> Self {
+        assert!(!window.is_zero(), "shield window must be positive");
+        assert!(max_per_window > 0, "shield budget must be positive");
+        RateShield {
+            window,
+            max_per_window,
+        }
+    }
+
+    /// A representative production configuration: 100 requests per IP per
+    /// 5 minutes.
+    pub fn paper_default() -> Self {
+        Self::new(SimDuration::from_secs(300), 100)
+    }
+
+    /// Replays the access log and returns the verdict per IP (sliding
+    /// window, exact).
+    pub fn analyze(&self, metrics: &Metrics) -> HashMap<u32, ShieldVerdict> {
+        let mut per_ip: HashMap<u32, Vec<SimTime>> = HashMap::new();
+        for e in metrics.access_log() {
+            per_ip.entry(e.origin.ip).or_default().push(e.at);
+        }
+        per_ip
+            .into_iter()
+            .map(|(ip, mut times)| {
+                times.sort_unstable();
+                let mut verdict = ShieldVerdict::Allowed;
+                let w = self.window;
+                let mut lo = 0usize;
+                for hi in 0..times.len() {
+                    while times[hi].saturating_since(times[lo]) >= w {
+                        lo += 1;
+                    }
+                    if (hi - lo + 1) as u32 > self.max_per_window {
+                        verdict = ShieldVerdict::Blocked(times[hi]);
+                        break;
+                    }
+                }
+                (ip, verdict)
+            })
+            .collect()
+    }
+
+    /// Number of IPs that would have been blocked.
+    pub fn blocked_count(&self, metrics: &Metrics) -> usize {
+        self.analyze(metrics)
+            .values()
+            .filter(|v| matches!(v, ShieldVerdict::Blocked(_)))
+            .count()
+    }
+
+    /// The smallest bot-farm size that keeps a campaign of `total_requests`
+    /// requests over `duration` under the per-IP budget — the sizing rule
+    /// the attacker applies (Table III's "Bot" column).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `duration` is zero.
+    pub fn min_bots(&self, total_requests: u64, duration: SimDuration) -> u64 {
+        assert!(!duration.is_zero(), "campaign duration must be positive");
+        let windows = (duration.as_micros() as f64 / self.window.as_micros() as f64).ceil();
+        let budget_per_ip = u64::from(self.max_per_window) * windows as u64;
+        total_requests.div_ceil(budget_per_ip.max(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use callgraph::{RequestTypeId, ServiceSpec, TopologyBuilder};
+    use microsim::agents::FixedRate;
+    use microsim::{Origin, SimConfig, Simulation};
+
+    fn run(interval_ms: u64, count: u64) -> Metrics {
+        let mut b = TopologyBuilder::new();
+        let gw = b.add_service(ServiceSpec::new("gw").threads(64).demand_cv(0.0));
+        b.add_request_type("r", vec![(gw, SimDuration::from_millis(1))]);
+        let mut sim = Simulation::new(b.build(), SimConfig::default());
+        sim.add_agent(Box::new(
+            FixedRate::new(
+                RequestTypeId::new(0),
+                SimDuration::from_millis(interval_ms),
+                count,
+            )
+            .with_origin(Origin::attack(0xDEAD, 1)),
+        ));
+        sim.run_until(SimTime::from_secs(600));
+        sim.into_metrics()
+    }
+
+    #[test]
+    fn under_budget_ip_allowed() {
+        // 50 requests over 500 s — well under 100 per 5 min.
+        let m = run(10_000, 50);
+        let shield = RateShield::paper_default();
+        assert_eq!(shield.blocked_count(&m), 0);
+        assert_eq!(shield.analyze(&m)[&0xDEAD], ShieldVerdict::Allowed);
+    }
+
+    #[test]
+    fn over_budget_ip_blocked() {
+        // 150 requests in 15 s — way over budget.
+        let m = run(100, 150);
+        let shield = RateShield::paper_default();
+        assert_eq!(shield.blocked_count(&m), 1);
+        match shield.analyze(&m)[&0xDEAD] {
+            ShieldVerdict::Blocked(at) => {
+                assert!(at <= SimTime::from_secs(15));
+            }
+            ShieldVerdict::Allowed => panic!("expected a block"),
+        }
+    }
+
+    #[test]
+    fn sliding_window_is_exact() {
+        // Exactly the budget within a window stays allowed; one more in
+        // the same window blocks.
+        let shield = RateShield::new(SimDuration::from_secs(10), 3);
+        let m = run(5_000, 3); // 3 requests over 10 s; boundary excluded
+        assert_eq!(shield.blocked_count(&m), 0);
+        let m = run(1_000, 4); // 4 requests in 3 s
+        assert_eq!(shield.blocked_count(&m), 1);
+    }
+
+    #[test]
+    fn min_bots_sizing() {
+        let shield = RateShield::paper_default();
+        // 20-minute campaign = 4 windows; per-IP budget 400.
+        assert_eq!(shield.min_bots(400, SimDuration::from_secs(1200)), 1);
+        assert_eq!(shield.min_bots(401, SimDuration::from_secs(1200)), 2);
+        assert_eq!(shield.min_bots(100_000, SimDuration::from_secs(1200)), 250);
+    }
+
+    #[test]
+    #[should_panic(expected = "budget must be positive")]
+    fn zero_budget_rejected() {
+        RateShield::new(SimDuration::from_secs(1), 0);
+    }
+}

@@ -1,0 +1,61 @@
+//! Experiment runner CLI.
+//!
+//! ```text
+//! lab <experiment|all> [--fast] [--out <dir>]
+//! ```
+//!
+//! Known experiments: see `lab::experiments::ALL`.
+
+use lab::{experiments, Fidelity};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args[0] == "--help" || args[0] == "-h" {
+        eprintln!("usage: lab <experiment|all> [--fast] [--out <dir>]");
+        eprintln!("experiments: {}", experiments::ALL.join(", "));
+        std::process::exit(if args.is_empty() { 2 } else { 0 });
+    }
+    let which = args[0].clone();
+    let fidelity = if args.iter().any(|a| a == "--fast") {
+        Fidelity::Fast
+    } else {
+        Fidelity::Full
+    };
+    let out_dir = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "results".to_string());
+
+    let names: Vec<&str> = if which == "all" {
+        experiments::ALL.to_vec()
+    } else if experiments::ALL.contains(&which.as_str()) {
+        vec![experiments::ALL
+            .iter()
+            .find(|n| **n == which)
+            .copied()
+            .expect("checked")]
+    } else {
+        eprintln!(
+            "unknown experiment {which:?}; known: {}",
+            experiments::ALL.join(", ")
+        );
+        std::process::exit(2);
+    };
+
+    for name in names {
+        let started = std::time::Instant::now();
+        eprintln!("== running {name} ({fidelity:?}) ==");
+        let report = experiments::run(name, fidelity);
+        let path = report
+            .write_to_dir(&out_dir)
+            .unwrap_or_else(|e| panic!("writing report for {name}: {e}"));
+        eprintln!(
+            "   wrote {} ({:.1}s wall)",
+            path.display(),
+            started.elapsed().as_secs_f64()
+        );
+        println!("{}", report.to_markdown());
+    }
+}

@@ -1,0 +1,276 @@
+//! §VII ablations: Grunt vs the single-path Tail attack vs brute force —
+//! damage, traffic volume and detectability side by side.
+
+use baselines::{BruteForce, TailAttack, TailAttackConfig};
+use defense::{AlertKind, Ids, IdsConfig, RateShield};
+use grunt::CampaignConfig;
+use microsim::Metrics;
+use simnet::{SimDuration, SimTime};
+use telemetry::{LatencySummary, Traffic};
+
+use crate::report::fmt;
+use crate::{AttackRun, Fidelity, Report, Scenario};
+
+struct Row {
+    label: String,
+    attack_requests: u64,
+    attack_mb: f64,
+    damage_avg_ms: f64,
+    damage_p95_ms: f64,
+    write_path_ms: f64,
+    interval_alerts: usize,
+    resource_alerts: usize,
+    blocked_ips: usize,
+}
+
+fn write_path_ms(metrics: &Metrics, topo: &callgraph::Topology, from: SimTime, to: SimTime) -> f64 {
+    LatencySummary::compute(
+        metrics,
+        Traffic::Legit,
+        topo.request_type_by_name("compose-post"),
+        from,
+        to,
+    )
+    .avg_ms
+}
+
+fn detect(metrics: &Metrics) -> (usize, usize, usize) {
+    let report = Ids::new(IdsConfig::default()).analyze(metrics);
+    let interval = report
+        .of_kind(AlertKind::IntervalViolation)
+        .filter(|a| a.hit_attacker)
+        .count();
+    let resource = report.of_kind(AlertKind::ResourceSaturation).count();
+    let blocked = RateShield::paper_default().blocked_count(metrics);
+    (interval, resource, blocked)
+}
+
+fn attack_bytes(metrics: &Metrics, from: SimTime, to: SimTime) -> (u64, f64) {
+    let mut n = 0u64;
+    let mut bytes = 0u64;
+    for e in metrics.access_log() {
+        if e.origin.is_attack && e.at >= from && e.at < to {
+            n += 1;
+            bytes += e.bytes;
+        }
+    }
+    (n, bytes as f64 / 1e6)
+}
+
+/// Runs the experiment.
+pub fn run(fidelity: Fidelity) -> Report {
+    let users = fidelity.pick(7_000, 3_000);
+    let window = fidelity.secs(300, 120);
+    let scenario = Scenario::social_network(
+        "EC2",
+        microsim::PlatformProfile::ec2(),
+        users,
+        7_000,
+        0xAB1A,
+    );
+
+    let mut rows: Vec<Row> = Vec::new();
+
+    // ---- Grunt ----
+    {
+        let run = AttackRun::execute(
+            &scenario,
+            CampaignConfig::default(),
+            SimDuration::from_secs(30),
+            window,
+        );
+        let att = run.attack_latency();
+        let (n, mb) = attack_bytes(
+            run.metrics(),
+            run.campaign.attack_started,
+            run.attack_window.1,
+        );
+        let (interval, resource, blocked) = detect(run.metrics());
+        let wp = write_path_ms(
+            run.metrics(),
+            &scenario.topology,
+            run.attack_window.0,
+            run.attack_window.1,
+        );
+        rows.push(Row {
+            label: "Grunt (multi-path alternating)".into(),
+            attack_requests: n,
+            attack_mb: mb,
+            damage_avg_ms: att.avg_ms,
+            damage_p95_ms: att.p95_ms,
+            write_path_ms: wp,
+            interval_alerts: interval,
+            resource_alerts: resource,
+            blocked_ips: blocked,
+        });
+    }
+
+    // ---- Grunt with frozen parameters (no Kalman feedback) ----
+    {
+        let config = CampaignConfig {
+            commander: grunt::CommanderConfig {
+                adaptive: false,
+                ..grunt::CommanderConfig::default()
+            },
+            ..CampaignConfig::default()
+        };
+        let run = AttackRun::execute(&scenario, config, SimDuration::from_secs(30), window);
+        let att = run.attack_latency();
+        let (n, mb) = attack_bytes(
+            run.metrics(),
+            run.campaign.attack_started,
+            run.attack_window.1,
+        );
+        let (interval, resource, blocked) = detect(run.metrics());
+        let wp = write_path_ms(
+            run.metrics(),
+            &scenario.topology,
+            run.attack_window.0,
+            run.attack_window.1,
+        );
+        rows.push(Row {
+            label: "Grunt (frozen parameters)".into(),
+            attack_requests: n,
+            attack_mb: mb,
+            damage_avg_ms: att.avg_ms,
+            damage_p95_ms: att.p95_ms,
+            write_path_ms: wp,
+            interval_alerts: interval,
+            resource_alerts: resource,
+            blocked_ips: blocked,
+        });
+    }
+
+    // ---- Tail attack (single path) ----
+    {
+        let mut sim = scenario.build();
+        sim.run_until(SimTime::from_secs(40));
+        let target = scenario
+            .topology
+            .request_type_by_name("compose-rich-post")
+            .expect("known type");
+        let a0 = sim.now();
+        sim.add_agent(Box::new(TailAttack::new(TailAttackConfig::comparable(
+            target,
+            a0 + window,
+        ))));
+        sim.run_until(a0 + window);
+        let att = LatencySummary::compute(
+            sim.metrics(),
+            Traffic::Legit,
+            None,
+            a0 + SimDuration::from_secs(20),
+            a0 + window,
+        );
+        let (n, mb) = attack_bytes(sim.metrics(), a0, a0 + window);
+        let (interval, resource, blocked) = detect(sim.metrics());
+        let wp = write_path_ms(
+            sim.metrics(),
+            &scenario.topology,
+            a0 + SimDuration::from_secs(20),
+            a0 + window,
+        );
+        rows.push(Row {
+            label: "Tail attack (single path)".into(),
+            attack_requests: n,
+            attack_mb: mb,
+            damage_avg_ms: att.avg_ms,
+            damage_p95_ms: att.p95_ms,
+            write_path_ms: wp,
+            interval_alerts: interval,
+            resource_alerts: resource,
+            blocked_ips: blocked,
+        });
+    }
+
+    // ---- Brute force ----
+    {
+        let mut sim = scenario.build();
+        sim.run_until(SimTime::from_secs(40));
+        let a0 = sim.now();
+        let app = apps::social_network(7_000);
+        // Sized against the *provisioned* capacity (7k users), not the
+        // current load — brute force must overwhelm the deployment.
+        let provisioned_rate = 7_000.0 / 7.0;
+        sim.add_agent(Box::new(BruteForce::new(
+            app.request_mix(),
+            provisioned_rate * 3.0,
+            300,
+            a0 + window,
+            3,
+        )));
+        sim.run_until(a0 + window);
+        let att = LatencySummary::compute(
+            sim.metrics(),
+            Traffic::Legit,
+            None,
+            a0 + SimDuration::from_secs(20),
+            a0 + window,
+        );
+        let (n, mb) = attack_bytes(sim.metrics(), a0, a0 + window);
+        let (interval, resource, blocked) = detect(sim.metrics());
+        let wp = write_path_ms(
+            sim.metrics(),
+            &scenario.topology,
+            a0 + SimDuration::from_secs(20),
+            a0 + window,
+        );
+        rows.push(Row {
+            label: "Brute force (3x capacity flood)".into(),
+            attack_requests: n,
+            attack_mb: mb,
+            damage_avg_ms: att.avg_ms,
+            damage_p95_ms: att.p95_ms,
+            write_path_ms: wp,
+            interval_alerts: interval,
+            resource_alerts: resource,
+            blocked_ips: blocked,
+        });
+    }
+
+    let mut report = Report::new(
+        "ablation_baselines",
+        "§VII ablation — Grunt vs Tail attack vs brute force",
+    );
+    report.paragraph(format!(
+        "SocialNetwork at {users} users, {window} attack window each. Damage is the \
+         legitimate users' latency; detection columns count attacker-attributed \
+         IDS interval alerts, 1 s resource-saturation alerts, and IPs the \
+         per-IP rate shield would block."
+    ));
+    report.table(
+        &[
+            "Attack",
+            "Requests",
+            "Volume (MB)",
+            "Avg RT (ms)",
+            "p95 RT (ms)",
+            "Write-path RT (ms)",
+            "Interval alerts",
+            "Resource alerts",
+            "Blocked IPs",
+        ],
+        rows.iter()
+            .map(|r| {
+                vec![
+                    r.label.clone(),
+                    r.attack_requests.to_string(),
+                    fmt(r.attack_mb, 1),
+                    fmt(r.damage_avg_ms, 0),
+                    fmt(r.damage_p95_ms, 0),
+                    fmt(r.write_path_ms, 0),
+                    r.interval_alerts.to_string(),
+                    r.resource_alerts.to_string(),
+                    r.blocked_ips.to_string(),
+                ]
+            })
+            .collect(),
+    );
+    report.paragraph(
+        "Expected shape: Grunt achieves system-wide damage with zero identity-keyed \
+         alerts; the single-path Tail attack damages only its own dependency group \
+         (low system-wide averages); brute force maximises damage but lights up \
+         every detector and needs a multiple of Grunt's traffic.",
+    );
+    report
+}

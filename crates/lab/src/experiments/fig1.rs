@@ -1,0 +1,84 @@
+//! Fig 1: the headline timeline — bottleneck CPU utilisation and response
+//! time at 1 s granularity, before and during a Grunt attack.
+
+use callgraph::ServiceId;
+use grunt::CampaignConfig;
+use simnet::SimDuration;
+use telemetry::{CoarseMonitor, LatencySeries, Traffic};
+
+use crate::report::fmt;
+use crate::{AttackRun, Fidelity, Report, Scenario};
+
+/// Runs the experiment.
+pub fn run(fidelity: Fidelity) -> Report {
+    let baseline = fidelity.secs(60, 30);
+    let attack = fidelity.secs(300, 120);
+    let scenario = Scenario::social_network(
+        "EC2-12K",
+        microsim::PlatformProfile::ec2(),
+        12_000,
+        12_000,
+        0xF160,
+    );
+    let run = AttackRun::execute(&scenario, CampaignConfig::default(), baseline, attack);
+
+    let mut report = Report::new(
+        "fig1_overview",
+        "Fig 1 — bottleneck utilisation and response time under Grunt (1 s metrics)",
+    );
+    let m = run.metrics();
+    let coarse = CoarseMonitor::new(m, SimDuration::from_secs(1));
+
+    // Representative bottleneck: the busiest blockable service during the
+    // attack window.
+    let topo = run.sim.topology();
+    let bottleneck = (0..m.num_services())
+        .map(|i| ServiceId::new(i as u32))
+        .filter(|s| topo.service(*s).blockable)
+        .max_by(|a, b| {
+            let ua = m.mean_utilization(*a, run.attack_window.0, run.attack_window.1);
+            let ub = m.mean_utilization(*b, run.attack_window.0, run.attack_window.1);
+            ua.partial_cmp(&ub).expect("utilisation not NaN")
+        })
+        .expect("services exist");
+    report.paragraph(format!(
+        "Representative bottleneck microservice: `{}`. The attack starts at {}.",
+        topo.service(bottleneck).name,
+        run.campaign.attack_started,
+    ));
+
+    let horizon = run.attack_window.1;
+    let rt = LatencySeries::compute(m, Traffic::Legit, SimDuration::from_secs(1), horizon);
+    let util = coarse.series(bottleneck);
+    let rows: Vec<Vec<String>> = util
+        .iter()
+        .zip(rt.points())
+        .map(|(u, (t, rt_ms, n))| {
+            vec![
+                fmt(t.as_secs_f64(), 0),
+                fmt(u.utilization * 100.0, 1),
+                fmt(*rt_ms, 1),
+                n.to_string(),
+            ]
+        })
+        .collect();
+    report.series(
+        "Per-second bottleneck CPU and mean legitimate RT:",
+        &["t_s", "cpu_pct", "avg_rt_ms", "completions"],
+        rows,
+    );
+
+    let base = run.baseline_latency();
+    let att = run.attack_latency();
+    report.paragraph(format!(
+        "Baseline avg RT {:.0} ms -> attack avg RT {:.0} ms ({:.1}x); 1 s CPU of the \
+         bottleneck stays at {:.0}% mean / {:.0}% peak during the attack — no \
+         sustained saturation visible at monitoring granularity.",
+        base.avg_ms,
+        att.avg_ms,
+        att.avg_ms / base.avg_ms.max(1.0),
+        coarse.mean_utilization(bottleneck, run.attack_window.0, run.attack_window.1) * 100.0,
+        coarse.peak_utilization(bottleneck) * 100.0,
+    ));
+    report
+}

@@ -1,0 +1,81 @@
+//! §VI mitigation: reduce sharing of hotspot microservices.
+//!
+//! The paper's second defense direction: if critical paths do not overlap,
+//! blocking effects cannot propagate. We attack the standard SocialNetwork
+//! and a *decoupled* variant (every shared non-frontend microservice split
+//! into per-request-type instances) with identical Grunt campaigns and
+//! compare damage, attacker effort and deployment cost.
+
+use apps::SocialNetwork;
+use grunt::CampaignConfig;
+use telemetry::GroundTruth;
+
+use crate::report::fmt;
+use crate::{AttackRun, Fidelity, Report, Scenario};
+
+/// Runs the experiment.
+pub fn run(fidelity: Fidelity) -> Report {
+    let users = fidelity.pick(7_000, 3_000);
+    let baseline = fidelity.secs(60, 30);
+    let attack = fidelity.secs(600, 120);
+
+    let mut report = Report::new(
+        "mitigation_sharing",
+        "§VI mitigation — reducing hotspot sharing removes the attack surface",
+    );
+    report.paragraph(format!(
+        "Identical Grunt campaigns ({attack} attack window, {users} users) against the \
+         standard SocialNetwork and a decoupled variant where every shared \
+         non-frontend microservice is split into per-request-type instances."
+    ));
+
+    let mut rows = Vec::new();
+    for (label, app) in [
+        ("shared (standard)", SocialNetwork::new(users)),
+        ("decoupled (mitigated)", SocialNetwork::decoupled(users)),
+    ] {
+        let scenario = Scenario {
+            label: label.to_string(),
+            topology: app.topology().clone(),
+            browsing: app.browsing_model(),
+            users,
+            platform: microsim::PlatformProfile::ec2(),
+            seed: 0x716A,
+        };
+        let run = AttackRun::execute(&scenario, CampaignConfig::default(), baseline, attack);
+        let base = run.baseline_latency();
+        let att = run.attack_latency();
+        let gt = GroundTruth::from_topology(app.topology());
+        rows.push(vec![
+            label.to_string(),
+            app.topology().num_services().to_string(),
+            gt.groups().multi_member_groups().count().to_string(),
+            fmt(base.avg_ms, 0),
+            fmt(att.avg_ms, 0),
+            fmt(att.avg_ms / base.avg_ms.max(1.0), 1),
+            run.campaign.report.bursts.len().to_string(),
+            run.campaign.report.requests_sent.to_string(),
+        ]);
+    }
+    report.table(
+        &[
+            "Deployment",
+            "Services",
+            "Attackable groups",
+            "Base avg RT (ms)",
+            "Attack avg RT (ms)",
+            "Damage factor",
+            "Bursts",
+            "Attack requests",
+        ],
+        rows,
+    );
+    report.paragraph(
+        "Expected shape: the decoupled deployment exposes zero multi-member \
+         dependency groups, so the Commander has nothing to alternate over and \
+         the damage factor collapses — the mitigation works, at the cost of \
+         roughly twice the number of deployed services and the loss of \
+         resource pooling across paths (the trade-off Section VI discusses).",
+    );
+    report
+}

@@ -1,0 +1,72 @@
+//! One module per reproduced table / figure.
+
+pub mod ablations;
+pub mod fig1;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig15;
+pub mod fig16;
+pub mod mitigation;
+pub mod model_check;
+pub mod table1;
+pub mod table4;
+
+use crate::{Fidelity, Report};
+
+/// All experiment names, in a sensible execution order.
+pub const ALL: &[&str] = &[
+    "model_check",
+    "fig11",
+    "fig12",
+    "fig1",
+    "table1",
+    "fig13",
+    "fig14",
+    "fig15",
+    "fig16",
+    "table4",
+    "ablations",
+    "mitigation",
+];
+
+/// Runs one experiment by name.
+///
+/// # Panics
+///
+/// Panics on an unknown name (the CLI validates first).
+pub fn run(name: &str, fidelity: Fidelity) -> Report {
+    match name {
+        "fig1" => fig1::run(fidelity),
+        "table1" => table1::run(fidelity),
+        "fig11" => fig11::run(fidelity),
+        "fig12" => fig12::run(fidelity),
+        "fig13" => fig13::run(fidelity),
+        "fig14" => fig14::run(fidelity),
+        "fig15" => fig15::run(fidelity),
+        "fig16" => fig16::run(fidelity),
+        "table4" => table4::run(fidelity),
+        "ablations" => ablations::run(fidelity),
+        "mitigation" => mitigation::run(fidelity),
+        "model_check" => model_check::run(fidelity),
+        other => panic!("unknown experiment {other:?}; known: {ALL:?}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_names_are_unique_and_known() {
+        let set: std::collections::HashSet<_> = ALL.iter().collect();
+        assert_eq!(set.len(), ALL.len(), "duplicate experiment names");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown experiment")]
+    fn unknown_name_panics() {
+        run("nonsense", Fidelity::Fast);
+    }
+}

@@ -1,0 +1,114 @@
+//! Tables I & III: Grunt damage across cloud settings.
+//!
+//! Six settings — two workload levels on each of EC2, Azure and CloudLab —
+//! each running a full profile + attack campaign. Table I reports the
+//! user-perceived damage (avg / p95 RT, gateway traffic, bottleneck CPU);
+//! Table III adds the attacker-side columns (bots, P_MB).
+
+use grunt::CampaignConfig;
+use microsim::PlatformProfile;
+
+use crate::report::fmt;
+use crate::{AttackRun, Fidelity, Report, Scenario};
+
+/// The six paper settings: (label, platform, users, provisioned-for).
+/// Each cloud hosts one deployment provisioned for its heavier workload.
+pub fn settings() -> Vec<(String, PlatformProfile, usize, usize)> {
+    vec![
+        ("EC2-7K".into(), PlatformProfile::ec2(), 7_000, 12_000),
+        ("EC2-12K".into(), PlatformProfile::ec2(), 12_000, 12_000),
+        ("Azure-4K".into(), PlatformProfile::azure(), 4_000, 9_000),
+        ("Azure-9K".into(), PlatformProfile::azure(), 9_000, 9_000),
+        (
+            "CloudLab-5K".into(),
+            PlatformProfile::cloudlab(),
+            5_000,
+            11_000,
+        ),
+        (
+            "CloudLab-11K".into(),
+            PlatformProfile::cloudlab(),
+            11_000,
+            11_000,
+        ),
+    ]
+}
+
+/// Runs the experiment.
+pub fn run(fidelity: Fidelity) -> Report {
+    let baseline = fidelity.secs(120, 40);
+    let attack = fidelity.secs(1_200, 180);
+
+    let mut report = Report::new(
+        "table1_damage",
+        "Tables I & III — Grunt damage across cloud settings",
+    );
+    report.paragraph(format!(
+        "SocialNetwork under {} of attack per setting; damage goal avg RT >= 1 s, \
+         stealth goal P_MB <= 500 ms. `Base.` columns measure the pre-attack window, \
+         `Att.` the attack window (20 s ramp excluded).",
+        attack
+    ));
+
+    let mut rows1 = Vec::new();
+    let mut rows3 = Vec::new();
+    for (label, platform, users, provision) in settings() {
+        let scenario =
+            Scenario::social_network(&label, platform, users, provision, 0x7AB1 ^ users as u64);
+        let run = AttackRun::execute(&scenario, CampaignConfig::default(), baseline, attack);
+        let base = run.baseline_latency();
+        let att = run.attack_latency();
+        let net_b = run.network_mbps(run.baseline_window.0, run.baseline_window.1);
+        let net_a = run.network_mbps(run.attack_window.0, run.attack_window.1);
+        let cpu_b = run.bottleneck_cpu(run.baseline_window.0, run.baseline_window.1);
+        let cpu_a = run.bottleneck_cpu(run.attack_window.0, run.attack_window.1);
+        rows1.push(vec![
+            label.clone(),
+            fmt(base.avg_ms, 0),
+            fmt(att.avg_ms, 0),
+            fmt(base.p95_ms, 0),
+            fmt(att.p95_ms, 0),
+            fmt(net_b, 1),
+            fmt(net_a, 1),
+            fmt(cpu_b * 100.0, 0),
+            fmt(cpu_a * 100.0, 0),
+        ]);
+        rows3.push(vec![
+            label,
+            run.campaign.bots_used.to_string(),
+            fmt(run.mean_pmb_ms(), 0),
+            fmt(base.avg_ms, 0),
+            fmt(att.avg_ms, 0),
+            fmt(att.avg_ms / base.avg_ms.max(1.0), 1),
+        ]);
+    }
+
+    report.heading("Table I — long response time damage");
+    report.table(
+        &[
+            "Setting",
+            "Avg RT base (ms)",
+            "Avg RT att (ms)",
+            "p95 base (ms)",
+            "p95 att (ms)",
+            "Net base (MB/s)",
+            "Net att (MB/s)",
+            "CPU base (%)",
+            "CPU att (%)",
+        ],
+        rows1,
+    );
+    report.heading("Table III — attack parameters and outcome");
+    report.table(
+        &[
+            "Setting",
+            "Bots",
+            "P_MB (ms)",
+            "Avg RT base (ms)",
+            "Avg RT att (ms)",
+            "Damage factor",
+        ],
+        rows3,
+    );
+    report
+}

@@ -1,0 +1,195 @@
+//! Shared scenario plumbing: deploy an application, run baseline + attack,
+//! collect the measurements every experiment needs.
+
+use apps::SocialNetwork;
+use callgraph::Topology;
+use grunt::{CampaignConfig, GruntCampaign};
+use microsim::{Metrics, PlatformProfile, SimConfig, Simulation};
+use simnet::{SimDuration, SimTime};
+use telemetry::{LatencySummary, Traffic};
+use workload::{BrowsingModel, ClosedLoopUsers};
+
+/// A deployable scenario: an application plus the user population driving
+/// it.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Display label (e.g. `"EC2-7K"`).
+    pub label: String,
+    /// The application topology.
+    pub topology: Topology,
+    /// The browsing model of the legitimate population.
+    pub browsing: BrowsingModel,
+    /// Number of closed-loop users actually driving the system.
+    pub users: usize,
+    /// Platform profile.
+    pub platform: PlatformProfile,
+    /// Simulation seed.
+    pub seed: u64,
+}
+
+impl Scenario {
+    /// A SocialNetwork scenario on the given platform, provisioned for
+    /// `provision_users` but driven by `users` (the paper runs two
+    /// workload levels against one deployment per cloud).
+    pub fn social_network(
+        label: &str,
+        platform: PlatformProfile,
+        users: usize,
+        provision_users: usize,
+        seed: u64,
+    ) -> Self {
+        let app = SocialNetwork::new(provision_users);
+        Scenario {
+            label: label.to_string(),
+            topology: app.topology().clone(),
+            browsing: app.browsing_model(),
+            users,
+            platform,
+            seed,
+        }
+    }
+
+    /// Builds the simulation with the user population registered.
+    pub fn build(&self) -> Simulation {
+        let cfg = SimConfig::default()
+            .seed(self.seed)
+            .platform(self.platform.clone());
+        self.build_with(cfg)
+    }
+
+    /// Builds with a custom [`SimConfig`] (platform/seed fields are
+    /// overridden by the scenario's).
+    pub fn build_with(&self, cfg: SimConfig) -> Simulation {
+        let cfg = cfg.seed(self.seed).platform(self.platform.clone());
+        let mut sim = Simulation::new(self.topology.clone(), cfg);
+        sim.add_agent(Box::new(ClosedLoopUsers::new(
+            self.users,
+            self.browsing.clone(),
+            simnet::derive_seed(self.seed, "scenario/users"),
+        )));
+        sim
+    }
+}
+
+/// Results of one baseline+attack run.
+#[derive(Debug)]
+pub struct AttackRun {
+    /// Scenario label.
+    pub label: String,
+    /// The simulation (holds the metrics).
+    pub sim: Simulation,
+    /// The campaign (profile + report).
+    pub campaign: GruntCampaign,
+    /// `[base_from, base_to)` interval used for baseline measurements.
+    pub baseline_window: (SimTime, SimTime),
+    /// `[attack_from, attack_to)` interval used for attack measurements
+    /// (excludes ramp-up).
+    pub attack_window: (SimTime, SimTime),
+    /// Burst pacing length used by the commander (for P_MB correction).
+    pub pacing: SimDuration,
+}
+
+impl AttackRun {
+    /// Runs warm-up, baseline measurement, Grunt profiling and the attack
+    /// window.
+    pub fn execute(
+        scenario: &Scenario,
+        config: CampaignConfig,
+        baseline: SimDuration,
+        attack: SimDuration,
+    ) -> AttackRun {
+        let pacing = config.commander.burst_length;
+        let mut sim = scenario.build();
+        let warmup = SimDuration::from_secs(10);
+        sim.run_until(SimTime::ZERO + warmup);
+        let base_from = sim.now();
+        sim.run_until(base_from + baseline);
+        let base_to = sim.now();
+        let campaign = GruntCampaign::run(&mut sim, config, attack);
+        let ramp = SimDuration::from_secs(20).min(attack / 4);
+        let attack_window = (
+            campaign.attack_started + ramp,
+            campaign.attack_started + attack,
+        );
+        AttackRun {
+            label: scenario.label.clone(),
+            sim,
+            campaign,
+            baseline_window: (base_from, base_to),
+            attack_window,
+            pacing,
+        }
+    }
+
+    /// The run's metrics.
+    pub fn metrics(&self) -> &Metrics {
+        self.sim.metrics()
+    }
+
+    /// Baseline latency summary (legit traffic).
+    pub fn baseline_latency(&self) -> LatencySummary {
+        LatencySummary::compute(
+            self.metrics(),
+            Traffic::Legit,
+            None,
+            self.baseline_window.0,
+            self.baseline_window.1,
+        )
+    }
+
+    /// Attack-window latency summary (legit traffic).
+    pub fn attack_latency(&self) -> LatencySummary {
+        LatencySummary::compute(
+            self.metrics(),
+            Traffic::Legit,
+            None,
+            self.attack_window.0,
+            self.attack_window.1,
+        )
+    }
+
+    /// Mean gateway traffic (MB/s) over a window.
+    pub fn network_mbps(&self, from: SimTime, to: SimTime) -> f64 {
+        let w = self.metrics().window();
+        let per_sec = 1.0 / w.as_secs_f64();
+        let lo = (from.as_micros() / w.as_micros()) as usize;
+        let hi =
+            ((to.as_micros() / w.as_micros()) as usize).min(self.metrics().network_windows().len());
+        if hi <= lo {
+            return 0.0;
+        }
+        let total: f64 = self.metrics().network_windows()[lo..hi]
+            .iter()
+            .map(|n| n.total_mb())
+            .sum();
+        total * per_sec / (hi - lo) as f64
+    }
+
+    /// Mean CPU utilisation of a representative bottleneck service over a
+    /// window: the most-utilised service during the attack window,
+    /// excluding the frontend.
+    pub fn bottleneck_cpu(&self, from: SimTime, to: SimTime) -> f64 {
+        let m = self.metrics();
+        let topo = self.sim.topology();
+        let mut best = 0.0f64;
+        for s in 0..m.num_services() {
+            let svc = callgraph::ServiceId::new(s as u32);
+            if !topo.service(svc).blockable {
+                continue;
+            }
+            let u = m.mean_utilization(svc, from, to);
+            best = best.max(u);
+        }
+        best
+    }
+
+    /// Mean of the attacker's millibottleneck-length estimates, with the
+    /// burst pacing removed (ms) — the `P_MB` column of Table III.
+    pub fn mean_pmb_ms(&self) -> f64 {
+        self.campaign
+            .report
+            .mean_pmb()
+            .map(|d| (d.as_millis_f64() - self.pacing.as_millis_f64()).max(0.0))
+            .unwrap_or(0.0)
+    }
+}

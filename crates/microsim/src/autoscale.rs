@@ -1,0 +1,171 @@
+//! The cloud auto-scaler.
+//!
+//! Reproduces the policy from Section V-B of the paper: 1 s-granularity CPU
+//! metrics drive scaling — scale up when utilisation exceeds 70 % for 30
+//! consecutive seconds, scale down below 30 % for 30 consecutive seconds.
+//! Because millibottlenecks last < 500 ms, the 1 s averages stay low and
+//! Grunt never triggers a scale-up (Fig 14).
+
+use callgraph::ServiceId;
+use serde::{Deserialize, Serialize};
+use simnet::{SimDuration, SimTime};
+
+/// Scaling policy parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AutoScalePolicy {
+    /// Scale up when 1 s CPU utilisation exceeds this for
+    /// [`AutoScalePolicy::sustain_secs`] consecutive seconds.
+    pub up_threshold: f64,
+    /// Scale down when 1 s CPU utilisation is below this for
+    /// [`AutoScalePolicy::sustain_secs`] consecutive seconds.
+    pub down_threshold: f64,
+    /// Required consecutive seconds beyond a threshold.
+    pub sustain_secs: u32,
+    /// Delay between the scaling decision and the new replica serving
+    /// traffic (container/VM provisioning).
+    pub provision_delay: SimDuration,
+    /// Upper bound on replicas per service.
+    pub max_replicas: u32,
+}
+
+impl AutoScalePolicy {
+    /// The paper's policy: 70 % up / 30 % down over 30 s, with a 10 s
+    /// provisioning delay and at most 8 replicas per service.
+    pub fn paper_default() -> Self {
+        AutoScalePolicy {
+            up_threshold: 0.70,
+            down_threshold: 0.30,
+            sustain_secs: 30,
+            provision_delay: SimDuration::from_secs(10),
+            max_replicas: 8,
+        }
+    }
+}
+
+impl Default for AutoScalePolicy {
+    fn default() -> Self {
+        AutoScalePolicy::paper_default()
+    }
+}
+
+/// Direction of a completed scaling action.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ScalingDirection {
+    /// A replica was added.
+    Up,
+    /// A replica was drained and removed.
+    Down,
+}
+
+/// One completed scaling action, recorded for the experiment reports
+/// (Fig 15b plots these).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScalingAction {
+    /// When the action took effect.
+    pub at: SimTime,
+    /// The service that was scaled.
+    pub service: ServiceId,
+    /// Up or down.
+    pub direction: ScalingDirection,
+    /// Active replica count after the action.
+    pub replicas_after: u32,
+}
+
+/// Pure decision logic: feed one 1 s utilisation sample for a service and
+/// learn whether a scaling action should start.
+///
+/// The kernel owns the per-service hot/cold counters (in `Service`), calls
+/// this on every 1 s boundary and handles provisioning delays itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScaleDecision {
+    /// No action.
+    Hold,
+    /// Begin provisioning one replica.
+    Up,
+    /// Drain one replica.
+    Down,
+}
+
+/// Evaluates the policy for one service given the new 1 s utilisation
+/// sample and the persistent hot/cold counters (mutated in place).
+pub fn decide(
+    policy: &AutoScalePolicy,
+    util: f64,
+    hot_seconds: &mut u32,
+    cold_seconds: &mut u32,
+) -> ScaleDecision {
+    if util > policy.up_threshold {
+        *hot_seconds += 1;
+        *cold_seconds = 0;
+    } else if util < policy.down_threshold {
+        *cold_seconds += 1;
+        *hot_seconds = 0;
+    } else {
+        *hot_seconds = 0;
+        *cold_seconds = 0;
+    }
+    if *hot_seconds >= policy.sustain_secs {
+        *hot_seconds = 0;
+        return ScaleDecision::Up;
+    }
+    if *cold_seconds >= policy.sustain_secs {
+        *cold_seconds = 0;
+        return ScaleDecision::Down;
+    }
+    ScaleDecision::Hold
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sustained_heat_scales_up() {
+        let p = AutoScalePolicy {
+            sustain_secs: 3,
+            ..AutoScalePolicy::paper_default()
+        };
+        let (mut hot, mut cold) = (0, 0);
+        assert_eq!(decide(&p, 0.9, &mut hot, &mut cold), ScaleDecision::Hold);
+        assert_eq!(decide(&p, 0.9, &mut hot, &mut cold), ScaleDecision::Hold);
+        assert_eq!(decide(&p, 0.9, &mut hot, &mut cold), ScaleDecision::Up);
+        // Counter reset after firing.
+        assert_eq!(decide(&p, 0.9, &mut hot, &mut cold), ScaleDecision::Hold);
+    }
+
+    #[test]
+    fn interrupted_heat_resets() {
+        let p = AutoScalePolicy {
+            sustain_secs: 3,
+            ..AutoScalePolicy::paper_default()
+        };
+        let (mut hot, mut cold) = (0, 0);
+        decide(&p, 0.9, &mut hot, &mut cold);
+        decide(&p, 0.9, &mut hot, &mut cold);
+        // One calm second (between thresholds) resets the streak — this is
+        // exactly why sub-second millibottlenecks never trigger scaling.
+        decide(&p, 0.5, &mut hot, &mut cold);
+        assert_eq!(decide(&p, 0.9, &mut hot, &mut cold), ScaleDecision::Hold);
+        assert_eq!(hot, 1);
+    }
+
+    #[test]
+    fn sustained_cold_scales_down() {
+        let p = AutoScalePolicy {
+            sustain_secs: 2,
+            ..AutoScalePolicy::paper_default()
+        };
+        let (mut hot, mut cold) = (0, 0);
+        assert_eq!(decide(&p, 0.1, &mut hot, &mut cold), ScaleDecision::Hold);
+        assert_eq!(decide(&p, 0.1, &mut hot, &mut cold), ScaleDecision::Down);
+    }
+
+    #[test]
+    fn mid_band_holds_forever() {
+        let p = AutoScalePolicy::paper_default();
+        let (mut hot, mut cold) = (0, 0);
+        for _ in 0..100 {
+            assert_eq!(decide(&p, 0.5, &mut hot, &mut cold), ScaleDecision::Hold);
+        }
+    }
+}

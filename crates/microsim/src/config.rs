@@ -1,0 +1,187 @@
+//! Simulation configuration and cloud platform profiles.
+
+use serde::{Deserialize, Serialize};
+use simnet::SimDuration;
+
+/// A coarse model of a cloud platform's performance envelope.
+///
+/// The paper deploys the same application on EC2, Azure and CloudLab and
+/// observes the same qualitative behaviour with slightly different
+/// absolute numbers. We model a platform as a scale factor on compute
+/// demands (faster/slower vCPUs) plus a per-hop network latency.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlatformProfile {
+    /// Display name, e.g. `"EC2"`.
+    pub name: String,
+    /// Multiplier applied to every compute demand (1.0 = nominal).
+    pub demand_scale: f64,
+    /// One-way network latency per RPC hop (client↔gateway and
+    /// service↔service).
+    pub net_latency: SimDuration,
+    /// Fixed per-message network framing overhead, bytes (headers etc.),
+    /// counted in gateway traffic.
+    pub per_message_overhead: u64,
+}
+
+impl PlatformProfile {
+    /// Amazon EC2 profile (nominal speed).
+    pub fn ec2() -> Self {
+        PlatformProfile {
+            name: "EC2".into(),
+            demand_scale: 1.0,
+            net_latency: SimDuration::from_micros(250),
+            per_message_overhead: 220,
+        }
+    }
+
+    /// Microsoft Azure profile (slightly slower vCPU in the paper's
+    /// measurements: its baseline RTs are a few percent higher).
+    pub fn azure() -> Self {
+        PlatformProfile {
+            name: "Azure".into(),
+            demand_scale: 1.07,
+            net_latency: SimDuration::from_micros(300),
+            per_message_overhead: 220,
+        }
+    }
+
+    /// NSF CloudLab profile (bare-metal-ish: slightly faster CPU, slightly
+    /// higher LAN latency variance folded into the hop latency).
+    pub fn cloudlab() -> Self {
+        PlatformProfile {
+            name: "CloudLab".into(),
+            demand_scale: 0.97,
+            net_latency: SimDuration::from_micros(280),
+            per_message_overhead: 220,
+        }
+    }
+}
+
+impl Default for PlatformProfile {
+    fn default() -> Self {
+        PlatformProfile::ec2()
+    }
+}
+
+/// Top-level simulation parameters.
+///
+/// Construct with [`SimConfig::default`] and override with the
+/// builder-style setters:
+///
+/// ```
+/// use microsim::{PlatformProfile, SimConfig};
+/// use simnet::SimDuration;
+///
+/// let cfg = SimConfig::default()
+///     .seed(42)
+///     .platform(PlatformProfile::azure())
+///     .trace_sampling(0.05);
+/// assert_eq!(cfg.seed, 42);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Master seed; every internal RNG stream derives from it.
+    pub seed: u64,
+    /// Cloud platform profile.
+    pub platform: PlatformProfile,
+    /// Metrics sampling window (the paper's fine-grained monitor uses
+    /// 100 ms; coarse 1 s views are aggregated from these windows by the
+    /// `telemetry` crate).
+    pub window: SimDuration,
+    /// Fraction of requests for which a full span tree is recorded
+    /// (admin-side Jaeger-style tracing). `0.0` disables tracing.
+    pub trace_sampling: f64,
+    /// Auto-scaling policy; `None` disables scaling.
+    pub autoscale: Option<crate::autoscale::AutoScalePolicy>,
+    /// Whether to retain the gateway access log (needed by the IDS in the
+    /// `defense` crate; costs memory on long runs).
+    pub access_log: bool,
+}
+
+impl SimConfig {
+    /// Sets the master seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the platform profile.
+    pub fn platform(mut self, platform: PlatformProfile) -> Self {
+        self.platform = platform;
+        self
+    }
+
+    /// Sets the metrics window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn window(mut self, window: SimDuration) -> Self {
+        assert!(!window.is_zero(), "metrics window must be positive");
+        self.window = window;
+        self
+    }
+
+    /// Sets the span-tracing sampling fraction (clamped to `[0, 1]`).
+    pub fn trace_sampling(mut self, fraction: f64) -> Self {
+        self.trace_sampling = fraction.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Enables auto-scaling with the given policy.
+    pub fn autoscale(mut self, policy: crate::autoscale::AutoScalePolicy) -> Self {
+        self.autoscale = Some(policy);
+        self
+    }
+
+    /// Enables or disables the gateway access log.
+    pub fn access_log(mut self, enabled: bool) -> Self {
+        self.access_log = enabled;
+        self
+    }
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            seed: 0,
+            platform: PlatformProfile::default(),
+            window: SimDuration::from_millis(100),
+            trace_sampling: 0.0,
+            autoscale: None,
+            access_log: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_differ() {
+        assert_ne!(PlatformProfile::ec2(), PlatformProfile::azure());
+        assert_ne!(PlatformProfile::azure(), PlatformProfile::cloudlab());
+        assert!(PlatformProfile::azure().demand_scale > 1.0);
+        assert!(PlatformProfile::cloudlab().demand_scale < 1.0);
+    }
+
+    #[test]
+    fn builder_setters_apply() {
+        let cfg = SimConfig::default()
+            .seed(9)
+            .window(SimDuration::from_millis(50))
+            .trace_sampling(2.0)
+            .access_log(false);
+        assert_eq!(cfg.seed, 9);
+        assert_eq!(cfg.window, SimDuration::from_millis(50));
+        assert_eq!(cfg.trace_sampling, 1.0);
+        assert!(!cfg.access_log);
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn zero_window_rejected() {
+        let _ = SimConfig::default().window(SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,134 @@
+//! In-flight requests (jobs) and their completion records.
+
+use callgraph::RequestTypeId;
+use serde::{Deserialize, Serialize};
+use simnet::SimTime;
+
+use crate::agent::AgentId;
+
+/// Identity attached to an externally submitted request.
+///
+/// The platform treats all requests identically; the IDS (`defense` crate)
+/// sees `ip` and `session`, and the *evaluation* uses `is_attack` as ground
+/// truth when splitting latency distributions into legitimate vs attack
+/// traffic. Nothing in the serving path branches on `is_attack`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Origin {
+    /// Source IPv4 address (opaque u32; the IDS rate rules key on it).
+    pub ip: u32,
+    /// Application session id (the IDS inter-request-interval rule keys on
+    /// it).
+    pub session: u64,
+    /// Ground-truth label: `true` when the request was sent by the
+    /// attacker.
+    pub is_attack: bool,
+}
+
+impl Origin {
+    /// Origin for a legitimate user with the given ip/session.
+    pub fn legit(ip: u32, session: u64) -> Self {
+        Origin {
+            ip,
+            session,
+            is_attack: false,
+        }
+    }
+
+    /// Origin for an attack bot with the given ip/session.
+    pub fn attack(ip: u32, session: u64) -> Self {
+        Origin {
+            ip,
+            session,
+            is_attack: true,
+        }
+    }
+}
+
+/// Completion notification delivered to the submitting [`Agent`].
+///
+/// This is everything an external client can observe about one request:
+/// what was sent, when, and when the reply arrived.
+///
+/// [`Agent`]: crate::Agent
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Response {
+    /// The token returned by `SimCtx::submit` for this request.
+    pub token: u64,
+    /// The request type that was submitted.
+    pub request_type: RequestTypeId,
+    /// Submission time (client-side send timestamp).
+    pub submitted_at: SimTime,
+    /// Completion time (client-side receive timestamp).
+    pub completed_at: SimTime,
+}
+
+impl Response {
+    /// End-to-end response time in fractional milliseconds.
+    pub fn latency_ms(&self) -> f64 {
+        self.completed_at
+            .saturating_since(self.submitted_at)
+            .as_millis_f64()
+    }
+}
+
+/// Which phase of a step's compute a segment belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Phase {
+    /// Compute before the downstream RPC (or the whole demand at a leaf).
+    Pre,
+    /// Compute after the downstream reply.
+    Post,
+}
+
+/// One activation frame: the job's visit to one service along its path.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Frame {
+    /// Index into the service's replica vector where this frame was (or
+    /// will be) admitted.
+    pub replica: usize,
+    /// Whether the frame currently holds a worker-thread slot.
+    pub admitted: bool,
+}
+
+/// An in-flight request walking its execution path.
+#[derive(Debug)]
+pub(crate) struct Job {
+    /// Submitting agent, to deliver the [`Response`].
+    pub agent: AgentId,
+    /// Token the agent can correlate on.
+    pub token: u64,
+    pub request_type: RequestTypeId,
+    pub origin: Origin,
+    pub submitted_at: SimTime,
+    /// Activation frames; `frames[i]` corresponds to path step `i`.
+    /// Frames are pushed as the request descends and popped as replies
+    /// propagate back.
+    pub frames: Vec<Frame>,
+    /// Span end times per step for trace recording (admin-side only);
+    /// `None` when tracing is disabled for this job.
+    pub spans: Option<Vec<(SimTime, SimTime)>>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn origin_constructors_label_correctly() {
+        assert!(!Origin::legit(1, 2).is_attack);
+        assert!(Origin::attack(1, 2).is_attack);
+        assert_eq!(Origin::legit(7, 9).ip, 7);
+        assert_eq!(Origin::attack(7, 9).session, 9);
+    }
+
+    #[test]
+    fn response_latency_ms() {
+        let r = Response {
+            token: 0,
+            request_type: RequestTypeId::new(0),
+            submitted_at: SimTime::from_millis(10),
+            completed_at: SimTime::from_millis(135),
+        };
+        assert_eq!(r.latency_ms(), 125.0);
+    }
+}

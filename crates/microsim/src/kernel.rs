@@ -1,0 +1,556 @@
+//! The simulation kernel: platform state and event handlers.
+//!
+//! The kernel executes jobs against the replicated services, enforcing the
+//! two blocking mechanisms described in the crate docs (thread-slot holding
+//! across synchronous RPC, FIFO CPU queues per replica), samples metrics on
+//! a fixed window, and runs the auto-scaler on 1 s boundaries.
+
+use callgraph::{ExecutionHistory, RequestTypeId, ServiceId, Topology};
+use simnet::{EventQueue, RngStream, SimDuration, SimTime};
+
+use crate::agent::AgentId;
+use crate::autoscale::{decide, ScaleDecision, ScalingAction, ScalingDirection};
+use crate::config::SimConfig;
+use crate::job::{Frame, Job, Origin, Phase, Response};
+use crate::metrics::{AccessLogEntry, Metrics, NetworkWindow, RequestRecord, ServiceWindow};
+use crate::replica::Segment;
+use crate::service::Service;
+
+/// Events interpreted by the kernel's dispatch loop.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Event {
+    /// A request/RPC arrives at step `step` of `job`'s path.
+    Deliver { job: usize, step: usize },
+    /// The downstream reply for step `step` of `job` arrives back.
+    Reply { job: usize, step: usize },
+    /// A compute segment finished on a core.
+    ComputeDone {
+        service: usize,
+        replica: usize,
+        job: usize,
+        step: usize,
+        phase: Phase,
+    },
+    /// The response reaches the submitting client.
+    Complete { job: usize },
+    /// An agent timer fires.
+    Wake { agent: AgentId, token: u64 },
+    /// Metrics sampling boundary.
+    Sample,
+    /// A provisioned replica comes online.
+    ScaleUpReady { service: usize },
+}
+
+/// Why [`Kernel::pump`] returned control to the run loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum PumpResult {
+    /// An agent timer fired: dispatch `on_wake`.
+    Wake(AgentId, u64),
+    /// Responses are waiting in the outbox: dispatch `on_response`.
+    Responses,
+    /// Reached the time horizon.
+    Idle,
+}
+
+/// The platform state. Owned by [`Simulation`](crate::Simulation); agents
+/// reach it through [`SimCtx`](crate::SimCtx).
+pub struct Kernel {
+    topology: Topology,
+    paths: Vec<callgraph::ExecutionPath>,
+    cfg: SimConfig,
+    now: SimTime,
+    queue: EventQueue<Event>,
+    services: Vec<Service>,
+    jobs: Vec<Option<Job>>,
+    free_jobs: Vec<usize>,
+    metrics: Metrics,
+    demand_rng: RngStream,
+    trace_rng: RngStream,
+    next_token: u64,
+    /// Responses produced during event handling, drained by the run loop
+    /// and dispatched to agents.
+    pub(crate) outbox: Vec<(AgentId, Response)>,
+    // Per-window counters (reset at each sample).
+    win_arrivals: Vec<u32>,
+    win_completions: Vec<u32>,
+    win_net: NetworkWindow,
+    // Per-second utilisation accumulation for the auto-scaler.
+    sec_busy: Vec<SimDuration>,
+    sec_started: SimTime,
+    windows_per_sec: u64,
+    windows_seen: u64,
+}
+
+impl Kernel {
+    pub(crate) fn new(topology: Topology, cfg: SimConfig) -> Self {
+        let now = SimTime::ZERO;
+        let services: Vec<Service> = topology
+            .services()
+            .iter()
+            .cloned()
+            .map(|spec| Service::new(spec, now))
+            .collect();
+        let n = services.len();
+        let paths = topology.paths();
+        let mut queue = EventQueue::with_capacity(1024);
+        queue.push(now + cfg.window, Event::Sample);
+        let windows_per_sec = (1_000_000 / cfg.window.as_micros()).max(1);
+        Kernel {
+            metrics: Metrics::new(cfg.window, n),
+            demand_rng: RngStream::from_label(cfg.seed, "kernel/demand"),
+            trace_rng: RngStream::from_label(cfg.seed, "kernel/trace"),
+            topology,
+            paths,
+            cfg,
+            now,
+            queue,
+            services,
+            jobs: Vec::new(),
+            free_jobs: Vec::new(),
+            next_token: 0,
+            outbox: Vec::new(),
+            win_arrivals: vec![0; n],
+            win_completions: vec![0; n],
+            win_net: NetworkWindow::default(),
+            sec_busy: vec![SimDuration::ZERO; n],
+            sec_started: now,
+            windows_per_sec,
+            windows_seen: 0,
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The application topology (admin view).
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Collected metrics so far.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Active replica count of a service (admin view; Fig 15b).
+    pub fn active_replicas(&self, service: ServiceId) -> usize {
+        self.services[service.index()].active_replicas()
+    }
+
+    /// Public request-type catalogue (what crawling the public URLs
+    /// yields).
+    pub fn request_type_catalog(&self) -> Vec<(RequestTypeId, String)> {
+        self.topology
+            .request_types()
+            .iter()
+            .map(|rt| (rt.id, rt.name.clone()))
+            .collect()
+    }
+
+    // ---- client API (via SimCtx) ----
+
+    pub(crate) fn submit(
+        &mut self,
+        agent: AgentId,
+        request_type: RequestTypeId,
+        origin: Origin,
+    ) -> u64 {
+        assert!(
+            request_type.index() < self.paths.len(),
+            "unknown request type {request_type}"
+        );
+        let token = self.next_token;
+        self.next_token += 1;
+
+        let spec = self.topology.request_type(request_type);
+        let bytes = spec.request_bytes + self.cfg.platform.per_message_overhead;
+        self.win_net.bytes_in += bytes;
+        if self.cfg.access_log {
+            self.metrics.record_access(AccessLogEntry {
+                at: self.now,
+                origin,
+                request_type,
+                bytes,
+            });
+        }
+
+        let trace = self.cfg.trace_sampling > 0.0 && self.trace_rng.chance(self.cfg.trace_sampling);
+        let steps = self.paths[request_type.index()].len();
+        let job = Job {
+            agent,
+            token,
+            request_type,
+            origin,
+            submitted_at: self.now,
+            frames: Vec::with_capacity(steps),
+            spans: trace.then(|| vec![(SimTime::ZERO, SimTime::ZERO); steps]),
+        };
+        let id = match self.free_jobs.pop() {
+            Some(i) => {
+                self.jobs[i] = Some(job);
+                i
+            }
+            None => {
+                self.jobs.push(Some(job));
+                self.jobs.len() - 1
+            }
+        };
+        self.queue.push(
+            self.now + self.cfg.platform.net_latency,
+            Event::Deliver { job: id, step: 0 },
+        );
+        token
+    }
+
+    pub(crate) fn schedule_wake(&mut self, agent: AgentId, delay: SimDuration, token: u64) {
+        self.queue
+            .push(self.now + delay, Event::Wake { agent, token });
+    }
+
+    // ---- event loop ----
+
+    /// Pops and handles events up to and including `until`, yielding back
+    /// to the run loop whenever an agent must be re-entered: on an agent
+    /// timer, or as soon as completed responses are waiting in the outbox
+    /// (so agents observe their responses at the timestamp they completed,
+    /// before any later event is processed).
+    pub(crate) fn pump(&mut self, until: SimTime) -> PumpResult {
+        while let Some(t) = self.queue.peek_time() {
+            if t > until {
+                break;
+            }
+            let (t, ev) = self.queue.pop().expect("peeked");
+            self.now = t;
+            match ev {
+                Event::Wake { agent, token } => return PumpResult::Wake(agent, token),
+                Event::Deliver { job, step } => self.handle_deliver(job, step),
+                Event::Reply { job, step } => self.handle_reply(job, step),
+                Event::ComputeDone {
+                    service,
+                    replica,
+                    job,
+                    step,
+                    phase,
+                } => self.handle_compute_done(service, replica, job, step, phase),
+                Event::Complete { job } => self.handle_complete(job),
+                Event::Sample => self.handle_sample(),
+                Event::ScaleUpReady { service } => self.handle_scale_up(service),
+            }
+            if !self.outbox.is_empty() {
+                return PumpResult::Responses;
+            }
+        }
+        self.now = until.max(self.now);
+        PumpResult::Idle
+    }
+
+    fn path_of(&self, job: usize) -> &callgraph::ExecutionPath {
+        let rt = self.jobs[job].as_ref().expect("live job").request_type;
+        &self.paths[rt.index()]
+    }
+
+    fn handle_deliver(&mut self, job: usize, step: usize) {
+        let service_id = self.path_of(job).steps()[step].service;
+        let sidx = service_id.index();
+        self.win_arrivals[sidx] += 1;
+        let ridx = self.services[sidx].pick_replica();
+        {
+            let j = self.jobs[job].as_mut().expect("live job");
+            debug_assert_eq!(j.frames.len(), step, "frames grow with descent");
+            j.frames.push(Frame {
+                replica: ridx,
+                admitted: false,
+            });
+            if let Some(spans) = &mut j.spans {
+                spans[step].0 = self.now;
+            }
+        }
+        let replica = &mut self.services[sidx].replicas[ridx];
+        if replica.try_admit() {
+            self.jobs[job].as_mut().expect("live job").frames[step].admitted = true;
+            self.start_segment(sidx, ridx, job, step, Phase::Pre);
+        } else {
+            self.services[sidx].replicas[ridx]
+                .wait_queue
+                .push_back((job, step));
+        }
+    }
+
+    /// Samples the jittered duration of a compute segment and offers it to
+    /// the replica's CPU.
+    fn start_segment(&mut self, sidx: usize, ridx: usize, job: usize, step: usize, phase: Phase) {
+        let path = self.path_of(job);
+        let is_leaf = step + 1 == path.len();
+        let mean = path.steps()[step].demand.as_secs_f64()
+            * self.cfg.platform.demand_scale
+            * if is_leaf { 1.0 } else { 0.5 };
+        let cv = self.services[sidx].spec.demand_cv;
+        let duration = SimDuration::from_secs_f64(self.demand_rng.lognormal_mean_cv(mean, cv));
+        // A leaf spends its whole demand in Pre; intermediate steps split
+        // half before the downstream call, half after the reply.
+        let seg = Segment {
+            job,
+            step,
+            phase,
+            duration,
+        };
+        let now = self.now;
+        if self.services[sidx].replicas[ridx].offer_segment(seg, now) {
+            self.queue.push(
+                now + duration,
+                Event::ComputeDone {
+                    service: sidx,
+                    replica: ridx,
+                    job,
+                    step,
+                    phase,
+                },
+            );
+        }
+    }
+
+    fn handle_compute_done(
+        &mut self,
+        sidx: usize,
+        ridx: usize,
+        job: usize,
+        step: usize,
+        phase: Phase,
+    ) {
+        // Hand the core to the next queued segment, if any.
+        let now = self.now;
+        if let Some(next) = self.services[sidx].replicas[ridx].finish_segment(now) {
+            self.queue.push(
+                now + next.duration,
+                Event::ComputeDone {
+                    service: sidx,
+                    replica: ridx,
+                    job: next.job,
+                    step: next.step,
+                    phase: next.phase,
+                },
+            );
+        }
+        // Advance the finished job.
+        let path_len = self.path_of(job).len();
+        match phase {
+            Phase::Pre if step + 1 < path_len => {
+                // Descend: the thread slot at this step stays held.
+                self.queue.push(
+                    now + self.cfg.platform.net_latency,
+                    Event::Deliver {
+                        job,
+                        step: step + 1,
+                    },
+                );
+            }
+            _ => self.finish_step(sidx, ridx, job, step),
+        }
+    }
+
+    /// The job is done at `step`: release the slot, wake a waiter, and
+    /// propagate the reply upstream (or complete the request).
+    fn finish_step(&mut self, sidx: usize, ridx: usize, job: usize, step: usize) {
+        self.win_completions[sidx] += 1;
+        {
+            let j = self.jobs[job].as_mut().expect("live job");
+            if let Some(spans) = &mut j.spans {
+                spans[step].1 = self.now;
+            }
+            debug_assert_eq!(j.frames.len(), step + 1, "finishing the deepest frame");
+            j.frames.pop();
+        }
+        let replica = &mut self.services[sidx].replicas[ridx];
+        replica.release();
+        // Admit the next waiter on this replica, if any.
+        if let Some((wjob, wstep)) = replica.wait_queue.pop_front() {
+            if replica.try_admit() {
+                self.jobs[wjob].as_mut().expect("live waiter").frames[wstep].admitted = true;
+                self.start_segment(sidx, ridx, wjob, wstep, Phase::Pre);
+            } else {
+                // Draining replica: reroute the waiter to another replica.
+                self.jobs[wjob].as_mut().expect("live waiter").frames.pop();
+                self.win_arrivals[sidx] = self.win_arrivals[sidx].saturating_sub(1);
+                self.queue.push(
+                    self.now,
+                    Event::Deliver {
+                        job: wjob,
+                        step: wstep,
+                    },
+                );
+            }
+        }
+        let net = self.cfg.platform.net_latency;
+        if step == 0 {
+            self.queue.push(self.now + net, Event::Complete { job });
+        } else {
+            self.queue.push(
+                self.now + net,
+                Event::Reply {
+                    job,
+                    step: step - 1,
+                },
+            );
+        }
+    }
+
+    fn handle_reply(&mut self, job: usize, step: usize) {
+        let frame = self.jobs[job].as_ref().expect("live job").frames[step];
+        let service_id = self.path_of(job).steps()[step].service;
+        self.start_segment(service_id.index(), frame.replica, job, step, Phase::Post);
+    }
+
+    fn handle_complete(&mut self, job: usize) {
+        let j = self.jobs[job].take().expect("live job");
+        self.free_jobs.push(job);
+        let spec = self.topology.request_type(j.request_type);
+        self.win_net.bytes_out += spec.response_bytes + self.cfg.platform.per_message_overhead;
+        self.metrics.record_request(RequestRecord {
+            request_type: j.request_type,
+            origin: j.origin,
+            submitted_at: j.submitted_at,
+            completed_at: self.now,
+        });
+        if let Some(spans) = &j.spans {
+            let mut hist = ExecutionHistory::new();
+            let path = &self.paths[j.request_type.index()];
+            let mut parent = None;
+            for (i, &(start, end)) in spans.iter().enumerate() {
+                parent = Some(hist.record(parent, path.steps()[i].service, start, end));
+            }
+            self.metrics.record_trace(j.request_type, hist);
+        }
+        self.outbox.push((
+            j.agent,
+            Response {
+                token: j.token,
+                request_type: j.request_type,
+                submitted_at: j.submitted_at,
+                completed_at: self.now,
+            },
+        ));
+    }
+
+    fn handle_sample(&mut self) {
+        let now = self.now;
+        let mut windows = Vec::with_capacity(self.services.len());
+        for (i, svc) in self.services.iter_mut().enumerate() {
+            let mut busy = SimDuration::ZERO;
+            for r in &mut svc.replicas {
+                busy += r.take_busy(now);
+            }
+            self.sec_busy[i] += busy;
+            windows.push(ServiceWindow {
+                start: now - self.cfg.window,
+                busy,
+                active_cores: svc.active_cores(),
+                admitted: svc.total_admitted(),
+                waiting: svc.total_waiting() as u32,
+                arrivals: self.win_arrivals[i],
+                completions: self.win_completions[i],
+                replicas: svc.active_replicas() as u32,
+            });
+            self.win_arrivals[i] = 0;
+            self.win_completions[i] = 0;
+        }
+        let net = std::mem::take(&mut self.win_net);
+        self.metrics.push_window(windows, net);
+        self.windows_seen += 1;
+
+        // Auto-scaler runs on 1 s boundaries over the accumulated busy time.
+        if self.windows_seen.is_multiple_of(self.windows_per_sec) {
+            if let Some(policy) = self.cfg.autoscale {
+                let elapsed = now.saturating_since(self.sec_started).as_secs_f64();
+                for i in 0..self.services.len() {
+                    let svc = &mut self.services[i];
+                    let cores = f64::from(svc.active_cores().max(1));
+                    let util = if elapsed > 0.0 {
+                        (self.sec_busy[i].as_secs_f64() / (elapsed * cores)).min(1.0)
+                    } else {
+                        0.0
+                    };
+                    let mut hot = svc.hot_seconds;
+                    let mut cold = svc.cold_seconds;
+                    let decision = decide(&policy, util, &mut hot, &mut cold);
+                    svc.hot_seconds = hot;
+                    svc.cold_seconds = cold;
+                    match decision {
+                        ScaleDecision::Up => {
+                            if !svc.scaling_in_flight
+                                && (svc.active_replicas() as u32) < policy.max_replicas
+                            {
+                                svc.scaling_in_flight = true;
+                                self.queue.push(
+                                    now + policy.provision_delay,
+                                    Event::ScaleUpReady { service: i },
+                                );
+                            }
+                        }
+                        ScaleDecision::Down => {
+                            if svc.drain_one() {
+                                let _rerouted = self.reroute_drained_waiters(i);
+                                let after = self.services[i].active_replicas() as u32;
+                                self.metrics.record_scaling(ScalingAction {
+                                    at: now,
+                                    service: ServiceId::new(i as u32),
+                                    direction: ScalingDirection::Down,
+                                    replicas_after: after,
+                                });
+                            }
+                        }
+                        ScaleDecision::Hold => {}
+                    }
+                    self.sec_busy[i] = SimDuration::ZERO;
+                }
+            } else {
+                for b in &mut self.sec_busy {
+                    *b = SimDuration::ZERO;
+                }
+            }
+            self.sec_started = now;
+        }
+
+        self.queue.push(now + self.cfg.window, Event::Sample);
+    }
+
+    /// Moves waiters off draining replicas of service `i` back through the
+    /// load balancer. Returns how many were rerouted.
+    fn reroute_drained_waiters(&mut self, sidx: usize) -> usize {
+        let mut moved = 0;
+        let mut rerouted: Vec<(usize, usize)> = Vec::new();
+        for r in &mut self.services[sidx].replicas {
+            if r.draining {
+                while let Some(w) = r.wait_queue.pop_front() {
+                    rerouted.push(w);
+                }
+            }
+        }
+        for (job, step) in rerouted {
+            self.jobs[job].as_mut().expect("live waiter").frames.pop();
+            self.win_arrivals[sidx] = self.win_arrivals[sidx].saturating_sub(1);
+            self.queue.push(self.now, Event::Deliver { job, step });
+            moved += 1;
+        }
+        moved
+    }
+
+    fn handle_scale_up(&mut self, sidx: usize) {
+        let svc = &mut self.services[sidx];
+        svc.add_replica(self.now);
+        svc.scaling_in_flight = false;
+        let after = svc.active_replicas() as u32;
+        self.metrics.record_scaling(ScalingAction {
+            at: self.now,
+            service: ServiceId::new(sidx as u32),
+            direction: ScalingDirection::Up,
+            replicas_after: after,
+        });
+    }
+
+    /// Consumes the kernel, returning the recorded metrics.
+    pub(crate) fn into_metrics(self) -> Metrics {
+        self.metrics
+    }
+}

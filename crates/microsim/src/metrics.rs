@@ -1,0 +1,308 @@
+//! White-box metric collection: what the administrator (and the
+//! experiment harness) can see.
+//!
+//! The kernel samples every service at a fixed fine-grained window
+//! (100 ms by default, matching the paper's Collectl-based zoom-in
+//! analysis). Coarser views — the 1 s CloudWatch granularity that the
+//! auto-scaler and the resource-based IDS rules see — are aggregations of
+//! these windows provided by the `telemetry` crate.
+
+use callgraph::{ExecutionHistory, RequestTypeId, ServiceId};
+use serde::{Deserialize, Serialize};
+use simnet::{SimDuration, SimTime};
+
+use crate::autoscale::ScalingAction;
+use crate::job::Origin;
+
+/// Per-service measurements for one sampling window.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServiceWindow {
+    /// Window start time.
+    pub start: SimTime,
+    /// Core-busy time accumulated in the window, summed over replicas.
+    pub busy: SimDuration,
+    /// Active cores at window end (normalisation denominator).
+    pub active_cores: u32,
+    /// Thread slots in use at window end.
+    pub admitted: u32,
+    /// Requests waiting for a thread slot at window end (queued at the
+    /// service, i.e. the paper's "queued requests").
+    pub waiting: u32,
+    /// RPC/request arrivals during the window.
+    pub arrivals: u32,
+    /// Step completions during the window.
+    pub completions: u32,
+    /// Active replicas at window end.
+    pub replicas: u32,
+}
+
+impl ServiceWindow {
+    /// CPU utilisation in `[0, 1]` for the window.
+    pub fn utilization(&self, window: SimDuration) -> f64 {
+        let denom = window.as_secs_f64() * f64::from(self.active_cores.max(1));
+        (self.busy.as_secs_f64() / denom).min(1.0)
+    }
+
+    /// Total requests in the service (admitted + waiting) at window end.
+    pub fn queue_len(&self) -> u32 {
+        self.admitted + self.waiting
+    }
+}
+
+/// One completed end-to-end request.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RequestRecord {
+    /// The request type that was served.
+    pub request_type: RequestTypeId,
+    /// Client identity and ground-truth attack label.
+    pub origin: Origin,
+    /// Client-side send time.
+    pub submitted_at: SimTime,
+    /// Client-side receive time.
+    pub completed_at: SimTime,
+}
+
+impl RequestRecord {
+    /// End-to-end latency.
+    pub fn latency(&self) -> SimDuration {
+        self.completed_at.saturating_since(self.submitted_at)
+    }
+}
+
+/// One externally submitted request as seen at the gateway — the IDS input.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AccessLogEntry {
+    /// Submission time at the gateway.
+    pub at: SimTime,
+    /// Client identity and ground-truth attack label.
+    pub origin: Origin,
+    /// The submitted request type.
+    pub request_type: RequestTypeId,
+    /// Request payload bytes including per-message overhead.
+    pub bytes: u64,
+}
+
+/// Network traffic counted at the gateway per sampling window.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct NetworkWindow {
+    /// Inbound bytes (requests).
+    pub bytes_in: u64,
+    /// Outbound bytes (responses).
+    pub bytes_out: u64,
+}
+
+impl NetworkWindow {
+    /// Total traffic in megabytes.
+    pub fn total_mb(&self) -> f64 {
+        (self.bytes_in + self.bytes_out) as f64 / 1e6
+    }
+}
+
+/// Everything recorded during a simulation run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Metrics {
+    window: SimDuration,
+    num_services: usize,
+    /// `windows[w][s]` = sample of service `s` in window `w`.
+    service_windows: Vec<Vec<ServiceWindow>>,
+    network_windows: Vec<NetworkWindow>,
+    request_log: Vec<RequestRecord>,
+    access_log: Vec<AccessLogEntry>,
+    scaling_actions: Vec<ScalingAction>,
+    traces: Vec<(RequestTypeId, ExecutionHistory)>,
+}
+
+impl Metrics {
+    pub(crate) fn new(window: SimDuration, num_services: usize) -> Self {
+        Metrics {
+            window,
+            num_services,
+            service_windows: Vec::new(),
+            network_windows: Vec::new(),
+            request_log: Vec::new(),
+            access_log: Vec::new(),
+            scaling_actions: Vec::new(),
+            traces: Vec::new(),
+        }
+    }
+
+    /// The sampling window length.
+    pub fn window(&self) -> SimDuration {
+        self.window
+    }
+
+    /// Number of services sampled per window.
+    pub fn num_services(&self) -> usize {
+        self.num_services
+    }
+
+    /// All sampled windows; `windows()[w][s]` addresses window `w`,
+    /// service `s`.
+    pub fn windows(&self) -> &[Vec<ServiceWindow>] {
+        &self.service_windows
+    }
+
+    /// The per-window gateway traffic series (same indexing as
+    /// [`Metrics::windows`]).
+    pub fn network_windows(&self) -> &[NetworkWindow] {
+        &self.network_windows
+    }
+
+    /// The time series of one service across all windows.
+    pub fn service_series(&self, service: ServiceId) -> impl Iterator<Item = &ServiceWindow> + '_ {
+        self.service_windows
+            .iter()
+            .map(move |w| &w[service.index()])
+    }
+
+    /// Every completed request.
+    pub fn request_log(&self) -> &[RequestRecord] {
+        &self.request_log
+    }
+
+    /// Every external submission (empty when the access log is disabled).
+    pub fn access_log(&self) -> &[AccessLogEntry] {
+        &self.access_log
+    }
+
+    /// Completed scaling actions in time order.
+    pub fn scaling_actions(&self) -> &[ScalingAction] {
+        &self.scaling_actions
+    }
+
+    /// Sampled span trees, with the request type that produced each.
+    pub fn traces(&self) -> &[(RequestTypeId, ExecutionHistory)] {
+        &self.traces
+    }
+
+    /// Mean CPU utilisation of a service over `[from, to)`.
+    pub fn mean_utilization(&self, service: ServiceId, from: SimTime, to: SimTime) -> f64 {
+        let mut total = 0.0;
+        let mut n = 0u32;
+        for w in &self.service_windows {
+            let s = &w[service.index()];
+            if s.start >= from && s.start < to {
+                total += s.utilization(self.window);
+                n += 1;
+            }
+        }
+        if n == 0 {
+            0.0
+        } else {
+            total / f64::from(n)
+        }
+    }
+
+    // Internal recording API (used by the kernel).
+
+    pub(crate) fn push_window(&mut self, services: Vec<ServiceWindow>, network: NetworkWindow) {
+        debug_assert_eq!(services.len(), self.num_services);
+        self.service_windows.push(services);
+        self.network_windows.push(network);
+    }
+
+    pub(crate) fn record_request(&mut self, rec: RequestRecord) {
+        self.request_log.push(rec);
+    }
+
+    pub(crate) fn record_access(&mut self, entry: AccessLogEntry) {
+        self.access_log.push(entry);
+    }
+
+    pub(crate) fn record_scaling(&mut self, action: ScalingAction) {
+        self.scaling_actions.push(action);
+    }
+
+    pub(crate) fn record_trace(&mut self, rt: RequestTypeId, trace: ExecutionHistory) {
+        self.traces.push((rt, trace));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utilization_normalises_by_cores() {
+        let w = ServiceWindow {
+            start: SimTime::ZERO,
+            busy: SimDuration::from_millis(100),
+            active_cores: 2,
+            admitted: 0,
+            waiting: 0,
+            arrivals: 0,
+            completions: 0,
+            replicas: 2,
+        };
+        assert_eq!(w.utilization(SimDuration::from_millis(100)), 0.5);
+    }
+
+    #[test]
+    fn utilization_clamps_to_one() {
+        let w = ServiceWindow {
+            start: SimTime::ZERO,
+            busy: SimDuration::from_millis(500),
+            active_cores: 1,
+            admitted: 0,
+            waiting: 0,
+            arrivals: 0,
+            completions: 0,
+            replicas: 1,
+        };
+        assert_eq!(w.utilization(SimDuration::from_millis(100)), 1.0);
+    }
+
+    #[test]
+    fn request_record_latency() {
+        let rec = RequestRecord {
+            request_type: RequestTypeId::new(0),
+            origin: Origin::legit(0, 0),
+            submitted_at: SimTime::from_millis(50),
+            completed_at: SimTime::from_millis(180),
+        };
+        assert_eq!(rec.latency(), SimDuration::from_millis(130));
+    }
+
+    #[test]
+    fn mean_utilization_windows_filter() {
+        let mut m = Metrics::new(SimDuration::from_millis(100), 1);
+        for i in 0..10u64 {
+            m.push_window(
+                vec![ServiceWindow {
+                    start: SimTime::from_millis(i * 100),
+                    busy: SimDuration::from_millis(if i < 5 { 100 } else { 0 }),
+                    active_cores: 1,
+                    admitted: 0,
+                    waiting: 0,
+                    arrivals: 0,
+                    completions: 0,
+                    replicas: 1,
+                }],
+                NetworkWindow::default(),
+            );
+        }
+        let svc = ServiceId::new(0);
+        assert_eq!(
+            m.mean_utilization(svc, SimTime::ZERO, SimTime::from_millis(500)),
+            1.0
+        );
+        assert_eq!(
+            m.mean_utilization(svc, SimTime::from_millis(500), SimTime::from_secs(1)),
+            0.0
+        );
+        assert_eq!(
+            m.mean_utilization(svc, SimTime::ZERO, SimTime::from_secs(1)),
+            0.5
+        );
+        assert_eq!(m.service_series(svc).count(), 10);
+    }
+
+    #[test]
+    fn network_window_total() {
+        let n = NetworkWindow {
+            bytes_in: 400_000,
+            bytes_out: 600_000,
+        };
+        assert_eq!(n.total_mb(), 1.0);
+    }
+}

@@ -1,0 +1,158 @@
+//! Integration tests of the auto-scaler's full lifecycle: scale-up under
+//! sustained load (with provisioning delay), scale-down when load recedes
+//! (with graceful replica draining), and waiter re-routing off draining
+//! replicas.
+
+use callgraph::{RequestTypeId, ServiceId, ServiceSpec, TopologyBuilder};
+use microsim::{AutoScalePolicy, ScalingDirection, SimConfig, Simulation};
+use simnet::{SimDuration, SimTime};
+use workload::{PoissonSource, RateTrace, RequestMix};
+
+fn topology() -> callgraph::Topology {
+    let mut b = TopologyBuilder::new();
+    let gw = b.add_service(
+        ServiceSpec::new("gw")
+            .threads(2048)
+            .cores(8)
+            .blockable(false)
+            .demand_cv(0.1),
+    );
+    // One core serving 10 ms requests: capacity 100 req/s per replica.
+    let api = b.add_service(ServiceSpec::new("api").threads(64).cores(1).demand_cv(0.1));
+    b.add_request_type(
+        "r",
+        vec![
+            (gw, SimDuration::from_micros(200)),
+            (api, SimDuration::from_millis(10)),
+        ],
+    );
+    b.build()
+}
+
+const API: ServiceId = ServiceId::new(1);
+
+fn policy() -> AutoScalePolicy {
+    AutoScalePolicy {
+        up_threshold: 0.70,
+        down_threshold: 0.30,
+        sustain_secs: 5,
+        provision_delay: SimDuration::from_secs(3),
+        max_replicas: 4,
+    }
+}
+
+/// Load ramps high then recedes: the scaler must add replicas during the
+/// surge and drain them afterwards, and service quality must recover.
+#[test]
+fn scale_up_then_down_follows_the_load() {
+    let mut sim = Simulation::new(topology(), SimConfig::default().autoscale(policy()));
+    // 30 s at 160 req/s (160% of one replica), then 90 s at 20 req/s.
+    let trace = RateTrace::new(SimDuration::from_secs(30), vec![160.0, 20.0, 20.0, 20.0]);
+    sim.add_agent(Box::new(PoissonSource::new(
+        RequestMix::single(RequestTypeId::new(0)),
+        trace,
+        SimTime::from_secs(120),
+        1,
+    )));
+    sim.run_until(SimTime::from_secs(120));
+
+    let actions = sim.metrics().scaling_actions();
+    let ups = actions
+        .iter()
+        .filter(|a| a.direction == ScalingDirection::Up)
+        .count();
+    let downs = actions
+        .iter()
+        .filter(|a| a.direction == ScalingDirection::Down)
+        .count();
+    assert!(ups >= 1, "surge must trigger a scale-up: {actions:?}");
+    assert!(
+        downs >= 1,
+        "recession must trigger a scale-down: {actions:?}"
+    );
+    // The first up happens during the surge; downs happen after it.
+    let first_up = actions
+        .iter()
+        .find(|a| a.direction == ScalingDirection::Up)
+        .expect("checked");
+    assert!(first_up.at < SimTime::from_secs(32));
+    assert!(
+        first_up.at >= SimTime::from_secs(5 + 3),
+        "sustain + provision delay"
+    );
+    // Back to one replica at the end.
+    assert_eq!(sim.active_replicas(API), 1, "quiet system drains extras");
+}
+
+/// During a sustained overload, adding the replica actually restores
+/// latency: mean RT after the scale-up is far below the pre-scale peak.
+#[test]
+fn scale_up_restores_latency() {
+    let mut sim = Simulation::new(topology(), SimConfig::default().autoscale(policy()));
+    sim.add_agent(Box::new(PoissonSource::at_rate(
+        RequestMix::single(RequestTypeId::new(0)),
+        150.0,
+        SimTime::from_secs(60),
+        2,
+    )));
+    sim.run_until(SimTime::from_secs(60));
+
+    let m = sim.metrics();
+    let first_up = m
+        .scaling_actions()
+        .iter()
+        .find(|a| a.direction == ScalingDirection::Up)
+        .map(|a| a.at)
+        .expect("overload must scale up");
+    let before = telemetry::LatencySummary::compute(
+        m,
+        telemetry::Traffic::All,
+        None,
+        first_up - SimDuration::from_secs(3),
+        first_up,
+    );
+    let after = telemetry::LatencySummary::compute(
+        m,
+        telemetry::Traffic::All,
+        None,
+        first_up + SimDuration::from_secs(10),
+        SimTime::from_secs(60),
+    );
+    assert!(
+        after.avg_ms < before.avg_ms / 2.0,
+        "scale-up must relieve queueing: {:.0} -> {:.0} ms",
+        before.avg_ms,
+        after.avg_ms
+    );
+    assert!(sim.active_replicas(API) >= 2);
+}
+
+/// Requests queued on a replica that gets drained are re-routed, not lost:
+/// conservation holds across a scale-down.
+#[test]
+fn drained_replicas_never_lose_requests() {
+    let mut sim = Simulation::new(topology(), SimConfig::default().autoscale(policy()));
+    // Surge to force scale-up, then drop to force drain while some
+    // requests are still in flight.
+    let trace = RateTrace::new(
+        SimDuration::from_secs(20),
+        vec![170.0, 170.0, 10.0, 10.0, 10.0],
+    );
+    sim.add_agent(Box::new(PoissonSource::new(
+        RequestMix::single(RequestTypeId::new(0)),
+        trace,
+        SimTime::from_secs(100),
+        3,
+    )));
+    sim.run_until(SimTime::from_secs(130));
+    let m = sim.metrics();
+    assert!(
+        !m.scaling_actions().is_empty(),
+        "the trace must exercise scaling"
+    );
+    assert_eq!(
+        m.request_log().len(),
+        m.access_log().len(),
+        "every submitted request completes across scale events"
+    );
+}

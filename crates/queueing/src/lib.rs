@@ -1,0 +1,39 @@
+//! The analytic queueing-network model of Grunt attack (Section III).
+//!
+//! This crate implements, as pure functions over explicit parameter
+//! structs, the paper's model of how an attacking burst translates into
+//! queue build-up, damage latency and millibottleneck length — Equations
+//! (1) through (9) with the notation of Table II — plus the candidate-path
+//! ranking of Section III-C.
+//!
+//! The model serves three roles in the reproduction:
+//!
+//! 1. It predicts the impact of a burst, which the experiment harness
+//!    compares against simulator measurements (model-validation tests).
+//! 2. Its linear relationship between burst length `L` and both
+//!    `t_damage` and `P_MB` underpins the Kalman-filter feedback control
+//!    of the Commander (`grunt` crate).
+//! 3. The ranking tells the attacker which critical paths inside a
+//!    dependency group achieve the damage goal with minimum volume.
+//!
+//! # Units
+//!
+//! Rates and capacities are requests/second (`f64`), times are seconds
+//! (`f64`). Conversions to the simulator's integer [`simnet::SimDuration`]
+//! happen at the edges.
+
+pub mod burst;
+pub mod model;
+pub mod params;
+pub mod plan;
+pub mod ranking;
+
+pub use burst::BurstPlan;
+pub use model::{
+    cross_tier_queue, damage_latency, execution_queue, fill_time, group_min_damage,
+    group_total_damage, maintenance_interval, millibottleneck_length, min_saturating_rate,
+    solve_length_for_pmb,
+};
+pub use params::{PathParams, StageParams};
+pub use plan::{min_paths_for_goal, plan_path, AttackGoals, PathPlan, PlanError};
+pub use ranking::{rank_candidates, BlockingKind, RankedPath};

@@ -1,0 +1,274 @@
+//! Equations (1)–(9): burst impact and persistent blocking.
+
+use crate::burst::BurstPlan;
+use crate::params::PathParams;
+
+/// Equation (1): total queue created by a burst when an *execution
+/// blocking* effect is triggered (the millibottleneck sits on the shared
+/// upstream microservice `s`).
+///
+/// `Q_B = L * (λ_s + B - C_{s,A})` — burst length times the queue build-up
+/// rate. Returns zero when the burst does not exceed the service rate.
+pub fn execution_queue(burst: BurstPlan, lambda_s: f64, capacity_s_attack: f64) -> f64 {
+    (burst.length_s * (lambda_s + burst.rate - capacity_s_attack)).max(0.0)
+}
+
+/// Equation (2): time `l_n` to fill up the queue of a downstream
+/// microservice during a burst.
+///
+/// `l_n = Q_n / (λ_n + B - C_{n,A})`. Returns `f64::INFINITY` when the
+/// burst cannot overload the stage (fill-up never happens).
+pub fn fill_time(queue_size: f64, lambda: f64, burst_rate: f64, capacity_attack: f64) -> f64 {
+    let rate = lambda + burst_rate - capacity_attack;
+    if rate <= 0.0 {
+        f64::INFINITY
+    } else {
+        queue_size / rate
+    }
+}
+
+/// Equation (3): total queue created by a burst when a *cross-tier queue
+/// blocking* effect is triggered: the burst must first fill every
+/// downstream queue between the shared upstream service and the bottleneck
+/// before queue build-up reaches the shared service.
+///
+/// `Q_B = (L - Σ l_i) * (Σ λ_i + B - C_{n,A})` for `i` in `s..=n`.
+/// Returns zero when the burst is too short to overflow the downstream
+/// queues.
+pub fn cross_tier_queue(burst: BurstPlan, path: &PathParams) -> f64 {
+    let n = path.bottleneck_stage();
+    // Σ l_i over the stages strictly below the shared upstream service.
+    let fill: f64 = path
+        .downstream_stages()
+        .iter()
+        .map(|st| fill_time(st.queue_size, st.lambda, burst.rate, st.capacity_attack))
+        .sum();
+    if !fill.is_finite() || fill >= burst.length_s {
+        return 0.0;
+    }
+    let lambda_sum: f64 = path.stages[path.shared_upstream..=path.bottleneck]
+        .iter()
+        .map(|st| st.lambda)
+        .sum();
+    ((burst.length_s - fill) * (lambda_sum + burst.rate - n.capacity_attack)).max(0.0)
+}
+
+/// Equation (4): damage latency of a burst — the time to drain the queue
+/// it built at the bottleneck's service rate.
+///
+/// `t_damage = Q_B / C_{n,A}`.
+///
+/// # Panics
+///
+/// Panics if `capacity_attack` is not positive.
+pub fn damage_latency(queue: f64, capacity_attack: f64) -> f64 {
+    assert!(capacity_attack > 0.0, "capacity must be positive");
+    (queue / capacity_attack).max(0.0)
+}
+
+/// Equation (5): millibottleneck length created by a burst (adapted from
+/// Tail Attack).
+///
+/// `P_MB = B*L / C_{n,A} * 1 / (1 - λ_n / C_{n,L})`.
+///
+/// Returns `f64::INFINITY` when the legitimate load alone saturates the
+/// bottleneck (`λ_n >= C_{n,L}`).
+///
+/// # Panics
+///
+/// Panics if either capacity is not positive.
+pub fn millibottleneck_length(
+    burst: BurstPlan,
+    capacity_attack: f64,
+    lambda: f64,
+    capacity_legit: f64,
+) -> f64 {
+    assert!(capacity_attack > 0.0, "attack capacity must be positive");
+    assert!(capacity_legit > 0.0, "legit capacity must be positive");
+    let headroom = 1.0 - lambda / capacity_legit;
+    if headroom <= 0.0 {
+        return f64::INFINITY;
+    }
+    burst.volume() / capacity_attack / headroom
+}
+
+/// Inverse of Equation (5): the burst length `L` that produces a target
+/// millibottleneck length at a fixed burst rate `B`.
+///
+/// Returns `None` when the legitimate load alone saturates the bottleneck
+/// or the rate is not positive.
+pub fn solve_length_for_pmb(
+    pmb_target_s: f64,
+    rate: f64,
+    capacity_attack: f64,
+    lambda: f64,
+    capacity_legit: f64,
+) -> Option<f64> {
+    if rate <= 0.0 {
+        return None;
+    }
+    let headroom = 1.0 - lambda / capacity_legit;
+    if headroom <= 0.0 {
+        return None;
+    }
+    Some(pmb_target_s * capacity_attack * headroom / rate)
+}
+
+/// The smallest burst rate that overloads a stage: `B > C_A - λ` (queue
+/// build-up rate just positive). `margin` adds headroom, e.g. `1.1` for
+/// 10 % above the threshold.
+pub fn min_saturating_rate(capacity_attack: f64, lambda: f64, margin: f64) -> f64 {
+    ((capacity_attack - lambda).max(0.0) * margin).max(1.0)
+}
+
+/// Equation (6): total damage latency of the opening mixed burst over `m`
+/// critical paths — the sum of the per-path damage latencies.
+pub fn group_total_damage(per_path_damage: &[f64]) -> f64 {
+    per_path_damage.iter().sum()
+}
+
+/// Equation (7): remaining damage latency after the first interval `I_0`:
+/// `t_min = t_D - I_0` (clamped at zero — the blocking effect cannot go
+/// negative).
+pub fn group_min_damage(total_damage: f64, first_interval: f64) -> f64 {
+    (total_damage - first_interval).max(0.0)
+}
+
+/// Equation (9): the interval that keeps `t_min` constant across
+/// maintenance bursts — each burst must arrive exactly when its own damage
+/// has drained: `I_i = t_damage,i` (follows from the fixed point of
+/// Equation (8), `t_min = t_min + t_damage,i - I_i`).
+pub fn maintenance_interval(damage_latency_i: f64) -> f64 {
+    damage_latency_i.max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::StageParams;
+
+    fn burst(rate: f64, length_s: f64) -> BurstPlan {
+        BurstPlan { rate, length_s }
+    }
+
+    #[test]
+    fn execution_queue_matches_hand_calc() {
+        // λ=20, B=180, C=100: build-up 100/s for 0.5 s -> 50 queued.
+        let q = execution_queue(burst(180.0, 0.5), 20.0, 100.0);
+        assert!((q - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn execution_queue_clamps_at_zero() {
+        assert_eq!(execution_queue(burst(10.0, 1.0), 0.0, 100.0), 0.0);
+    }
+
+    #[test]
+    fn fill_time_matches_hand_calc() {
+        // Q=32, overload rate 100/s -> 0.32 s.
+        assert!((fill_time(32.0, 20.0, 180.0, 100.0) - 0.32).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fill_time_infinite_without_overload() {
+        assert_eq!(fill_time(32.0, 10.0, 50.0, 100.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn cross_tier_queue_subtracts_fill_time() {
+        // Two stages: shared upstream (idx 0) and bottleneck (idx 1).
+        let shared = StageParams::symmetric(64.0, 1000.0, 50.0);
+        let bn = StageParams::symmetric(20.0, 100.0, 20.0);
+        let path = PathParams::new(vec![shared, bn], 1, 0);
+        // B=120: bottleneck overload rate = 20+120-100 = 40/s; fill 20
+        // slots in 0.5 s. Burst of 1 s leaves 0.5 s of build-up at rate
+        // (50+20+120-100) = 90/s -> 45 queued.
+        let q = cross_tier_queue(burst(120.0, 1.0), &path);
+        assert!((q - 45.0).abs() < 1e-9, "q = {q}");
+    }
+
+    #[test]
+    fn cross_tier_queue_zero_when_burst_too_short() {
+        let shared = StageParams::symmetric(64.0, 1000.0, 50.0);
+        let bn = StageParams::symmetric(20.0, 100.0, 20.0);
+        let path = PathParams::new(vec![shared, bn], 1, 0);
+        // Fill takes 0.5 s; a 0.3 s burst never overflows.
+        assert_eq!(cross_tier_queue(burst(120.0, 0.3), &path), 0.0);
+    }
+
+    #[test]
+    fn cross_tier_queue_zero_without_overload() {
+        let shared = StageParams::symmetric(64.0, 1000.0, 50.0);
+        let bn = StageParams::symmetric(20.0, 100.0, 20.0);
+        let path = PathParams::new(vec![shared, bn], 1, 0);
+        assert_eq!(cross_tier_queue(burst(50.0, 10.0), &path), 0.0);
+    }
+
+    #[test]
+    fn damage_latency_is_drain_time() {
+        assert!((damage_latency(50.0, 100.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pmb_scales_linearly_with_volume() {
+        // No legit load: P_MB = B*L/C.
+        let p1 = millibottleneck_length(burst(100.0, 0.25), 100.0, 0.0, 100.0);
+        let p2 = millibottleneck_length(burst(100.0, 0.5), 100.0, 0.0, 100.0);
+        assert!((p1 - 0.25).abs() < 1e-12);
+        assert!((p2 / p1 - 2.0).abs() < 1e-12, "linear in L");
+    }
+
+    #[test]
+    fn pmb_amplified_by_background_load() {
+        // 50% legit utilisation doubles the bottleneck length.
+        let base = millibottleneck_length(burst(100.0, 0.25), 100.0, 0.0, 100.0);
+        let loaded = millibottleneck_length(burst(100.0, 0.25), 100.0, 50.0, 100.0);
+        assert!((loaded / base - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pmb_infinite_when_already_saturated() {
+        assert_eq!(
+            millibottleneck_length(burst(1.0, 1.0), 100.0, 120.0, 100.0),
+            f64::INFINITY
+        );
+    }
+
+    #[test]
+    fn solve_length_inverts_pmb() {
+        let rate = 150.0;
+        let l = solve_length_for_pmb(0.5, rate, 100.0, 40.0, 100.0).unwrap();
+        let pmb = millibottleneck_length(burst(rate, l), 100.0, 40.0, 100.0);
+        assert!((pmb - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn solve_length_none_when_saturated() {
+        assert_eq!(solve_length_for_pmb(0.5, 100.0, 100.0, 150.0, 100.0), None);
+        assert_eq!(solve_length_for_pmb(0.5, 0.0, 100.0, 10.0, 100.0), None);
+    }
+
+    #[test]
+    fn min_saturating_rate_has_floor() {
+        assert_eq!(min_saturating_rate(100.0, 40.0, 1.0), 60.0);
+        assert_eq!(min_saturating_rate(100.0, 40.0, 1.5), 90.0);
+        // Already saturated by legit load: any positive rate works.
+        assert_eq!(min_saturating_rate(100.0, 200.0, 1.0), 1.0);
+    }
+
+    #[test]
+    fn group_equations_6_7_9() {
+        let damages = [0.4, 0.3, 0.5];
+        let t_d = group_total_damage(&damages);
+        assert!((t_d - 1.2).abs() < 1e-12);
+        let t_min = group_min_damage(t_d, 0.2);
+        assert!((t_min - 1.0).abs() < 1e-12);
+        assert_eq!(group_min_damage(0.5, 2.0), 0.0);
+        // Equation (8) fixed point: interval equal to per-burst damage
+        // keeps t_min constant.
+        let i1 = maintenance_interval(damages[0]);
+        assert_eq!(i1, 0.4);
+        let t_after = t_min + damages[0] - i1;
+        assert!((t_after - t_min).abs() < 1e-12);
+    }
+}

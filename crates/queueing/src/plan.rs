@@ -1,0 +1,208 @@
+//! Attack planning: the Commander's initialisation (Section IV-D) as pure
+//! functions over the analytic model.
+//!
+//! Given a path's parameters and the attacker's goals, derive the burst
+//! rate, the longest stealthy burst length, the per-burst impact and the
+//! maintenance interval — the three initialisation steps the paper
+//! describes, computable offline once the parameters are known (or
+//! estimated by probing).
+
+use serde::{Deserialize, Serialize};
+
+use crate::burst::BurstPlan;
+use crate::model::{
+    cross_tier_queue, damage_latency, execution_queue, millibottleneck_length,
+    min_saturating_rate, solve_length_for_pmb,
+};
+use crate::params::PathParams;
+
+/// The attacker's goals.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AttackGoals {
+    /// Stealth: maximum millibottleneck length, seconds (paper: 0.5).
+    pub pmb_limit_s: f64,
+    /// Damage: minimum persistent latency, seconds (paper: 1.0).
+    pub damage_goal_s: f64,
+    /// Headroom multiplier applied to the minimum saturating rate.
+    pub rate_margin: f64,
+}
+
+impl Default for AttackGoals {
+    fn default() -> Self {
+        AttackGoals {
+            pmb_limit_s: 0.5,
+            damage_goal_s: 1.0,
+            rate_margin: 1.3,
+        }
+    }
+}
+
+/// A per-path plan derived from the model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PathPlan {
+    /// The burst to fire.
+    pub burst: BurstPlan,
+    /// Predicted queue build-up (requests).
+    pub queue: f64,
+    /// Predicted damage latency per burst, seconds (Equation 4).
+    pub damage_s: f64,
+    /// Predicted millibottleneck length, seconds (Equation 5).
+    pub pmb_s: f64,
+    /// Maintenance interval `I_i = t_damage_i`, seconds (Equation 9).
+    pub interval_s: f64,
+}
+
+/// Errors from [`plan_path`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanError {
+    /// The bottleneck is already saturated by legitimate load: any burst
+    /// creates an unbounded millibottleneck, so no *stealthy* plan exists.
+    AlreadySaturated,
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanError::AlreadySaturated => {
+                write!(f, "bottleneck saturated by legitimate load alone")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// Derives the stealthiest effective burst plan for one path: the minimum
+/// saturating rate (step 1), the longest length within the stealth limit
+/// (step 2), and the resulting impact and maintenance interval.
+///
+/// # Errors
+///
+/// Returns [`PlanError::AlreadySaturated`] when the legitimate load alone
+/// saturates the bottleneck (no stealthy attack is possible — or needed).
+///
+/// # Example
+///
+/// ```
+/// use queueing::{plan_path, AttackGoals, PathParams, StageParams};
+///
+/// let hub = StageParams::symmetric(32.0, 800.0, 200.0);
+/// let bn = StageParams::symmetric(20.0, 250.0, 70.0);
+/// let path = PathParams::new(vec![hub, bn], 1, 0);
+/// let plan = plan_path(&path, AttackGoals::default())?;
+/// assert!(plan.pmb_s <= 0.5 + 1e-9);
+/// assert!(plan.burst.volume() > 0.0);
+/// # Ok::<(), queueing::PlanError>(())
+/// ```
+pub fn plan_path(path: &PathParams, goals: AttackGoals) -> Result<PathPlan, PlanError> {
+    let bn = path.bottleneck_stage();
+    let rate = min_saturating_rate(bn.capacity_attack, bn.lambda, goals.rate_margin);
+    let length = solve_length_for_pmb(
+        goals.pmb_limit_s,
+        rate,
+        bn.capacity_attack,
+        bn.lambda,
+        bn.capacity_legit,
+    )
+    .ok_or(PlanError::AlreadySaturated)?;
+    let burst = BurstPlan::new(rate, length);
+    // The effective queue is whichever blocking mechanism applies: direct
+    // execution blocking at the bottleneck, or the cross-tier cascade.
+    let queue = execution_queue(burst, bn.lambda, bn.capacity_attack)
+        .max(cross_tier_queue(burst, path));
+    let damage_s = damage_latency(queue, bn.capacity_attack);
+    let pmb_s = millibottleneck_length(burst, bn.capacity_attack, bn.lambda, bn.capacity_legit);
+    Ok(PathPlan {
+        burst,
+        queue,
+        damage_s,
+        pmb_s,
+        interval_s: damage_s,
+    })
+}
+
+/// Step 3: the smallest number of paths whose summed per-burst damages
+/// reach the goal (Equation 6) — assuming the plans are fired as an
+/// opening mixed burst and then maintained per Equation 9.
+///
+/// Returns `None` when even all paths together fall short.
+pub fn min_paths_for_goal(plans: &[PathPlan], goals: AttackGoals) -> Option<usize> {
+    let mut damages: Vec<f64> = plans.iter().map(|p| p.damage_s).collect();
+    damages.sort_by(|a, b| b.partial_cmp(a).expect("damage not NaN"));
+    let mut total = 0.0;
+    for (i, d) in damages.iter().enumerate() {
+        total += d;
+        if total >= goals.damage_goal_s {
+            return Some(i + 1);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::StageParams;
+
+    fn path(capacity: f64, lambda: f64) -> PathParams {
+        let hub = StageParams::symmetric(32.0, capacity * 3.0, lambda * 2.0);
+        let bn = StageParams::symmetric(20.0, capacity, lambda);
+        PathParams::new(vec![hub, bn], 1, 0)
+    }
+
+    #[test]
+    fn plan_respects_stealth_limit() {
+        let plan = plan_path(&path(300.0, 90.0), AttackGoals::default()).expect("plannable");
+        assert!(plan.pmb_s <= 0.5 + 1e-9, "P_MB {}", plan.pmb_s);
+        assert!(plan.burst.rate > 0.0 && plan.burst.length_s > 0.0);
+        assert_eq!(plan.interval_s, plan.damage_s);
+    }
+
+    #[test]
+    fn saturated_bottleneck_is_unplannable() {
+        assert_eq!(
+            plan_path(&path(100.0, 120.0), AttackGoals::default()),
+            Err(PlanError::AlreadySaturated)
+        );
+    }
+
+    #[test]
+    fn higher_background_load_means_less_volume() {
+        // The classic low-volume property: the busier the target, the
+        // cheaper the attack.
+        let quiet = plan_path(&path(300.0, 30.0), AttackGoals::default()).expect("plannable");
+        let busy = plan_path(&path(300.0, 150.0), AttackGoals::default()).expect("plannable");
+        assert!(
+            busy.burst.volume() < quiet.burst.volume(),
+            "busy {} vs quiet {}",
+            busy.burst.volume(),
+            quiet.burst.volume()
+        );
+    }
+
+    #[test]
+    fn min_paths_accumulates_damage() {
+        let goals = AttackGoals::default();
+        let plans: Vec<PathPlan> = [0.45, 0.40, 0.30]
+            .iter()
+            .map(|&damage_s| PathPlan {
+                burst: BurstPlan::new(100.0, 0.4),
+                queue: 40.0,
+                damage_s,
+                pmb_s: 0.45,
+                interval_s: damage_s,
+            })
+            .collect();
+        // 0.45 + 0.40 < 1.0; adding 0.30 crosses it.
+        assert_eq!(min_paths_for_goal(&plans, goals), Some(3));
+        assert_eq!(min_paths_for_goal(&plans[..1], goals), None);
+        assert_eq!(min_paths_for_goal(&[], goals), None);
+    }
+
+    #[test]
+    fn error_is_a_real_error_type() {
+        let err = PlanError::AlreadySaturated;
+        assert!(!err.to_string().is_empty());
+        let _: &dyn std::error::Error = &err;
+    }
+}

@@ -1,0 +1,191 @@
+//! Candidate-path ranking within a dependency group (Section III-C).
+//!
+//! Priority rules from the paper:
+//!
+//! 1. Paths whose bottleneck can trigger an *execution blocking* effect —
+//!    "upstream" paths of a sequential dependency (their bottleneck is a
+//!    shared upstream microservice of another path) — come first: they
+//!    block other paths directly, without filling downstream queues.
+//! 2. All remaining paths trigger cross-tier queue blocking and are ranked
+//!    by the volume `V = B * L` needed to create the reference
+//!    millibottleneck (`P_MB = 500 ms`): lower volume means stealthier,
+//!    so it ranks higher.
+
+use callgraph::{DependencyGroups, PairwiseDependency, RequestTypeId};
+use serde::{Deserialize, Serialize};
+
+/// How a path blocks the rest of its group when attacked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BlockingKind {
+    /// The path's bottleneck is an upstream microservice shared with (the
+    /// bottleneck path of) at least one other group member: a
+    /// millibottleneck there blocks others directly.
+    Execution,
+    /// The path must overflow downstream queues into a shared upstream
+    /// service to block others.
+    CrossTier,
+}
+
+/// One ranked candidate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RankedPath {
+    /// The request type / critical path.
+    pub request_type: RequestTypeId,
+    /// How it blocks the group.
+    pub kind: BlockingKind,
+    /// Volume (requests) needed for the reference millibottleneck.
+    pub reference_volume: f64,
+}
+
+/// Determines each group member's [`BlockingKind`] from the pairwise
+/// classification: a member is `Execution` if it is the upstream side of
+/// any sequential dependency, or shares its bottleneck with another member
+/// (either path's millibottleneck blocks the other directly).
+pub fn blocking_kind(
+    member: RequestTypeId,
+    group: &[RequestTypeId],
+    deps: &DependencyGroups,
+) -> BlockingKind {
+    for other in group {
+        if *other == member {
+            continue;
+        }
+        match deps.pairwise(member, *other) {
+            PairwiseDependency::Sequential { upstream } if upstream == member => {
+                return BlockingKind::Execution;
+            }
+            PairwiseDependency::SharedBottleneck => return BlockingKind::Execution,
+            _ => {}
+        }
+    }
+    BlockingKind::CrossTier
+}
+
+/// Ranks the members of one dependency group for attacking.
+///
+/// `reference_volume(rt)` supplies, per path, the burst volume needed to
+/// trigger the reference millibottleneck (from the model or from probing).
+///
+/// Execution-blocking paths come first (ordered by volume, then id);
+/// cross-tier paths follow, also by ascending volume.
+pub fn rank_candidates(
+    group: &[RequestTypeId],
+    deps: &DependencyGroups,
+    mut reference_volume: impl FnMut(RequestTypeId) -> f64,
+) -> Vec<RankedPath> {
+    let mut ranked: Vec<RankedPath> = group
+        .iter()
+        .map(|&rt| RankedPath {
+            request_type: rt,
+            kind: blocking_kind(rt, group, deps),
+            reference_volume: reference_volume(rt),
+        })
+        .collect();
+    ranked.sort_by(|a, b| {
+        let class = |k: BlockingKind| match k {
+            BlockingKind::Execution => 0,
+            BlockingKind::CrossTier => 1,
+        };
+        class(a.kind)
+            .cmp(&class(b.kind))
+            .then(
+                a.reference_volume
+                    .partial_cmp(&b.reference_volume)
+                    .expect("volumes must not be NaN"),
+            )
+            .then(a.request_type.cmp(&b.request_type))
+    });
+    ranked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use callgraph::{ExecutionPath, ServiceId};
+    use simnet::SimDuration;
+
+    fn ms(v: u64) -> SimDuration {
+        SimDuration::from_millis(v)
+    }
+
+    fn chain(rt: u32, steps: &[(u32, u64)]) -> ExecutionPath {
+        ExecutionPath::from_chain(
+            RequestTypeId::new(rt),
+            steps
+                .iter()
+                .map(|&(s, d)| (ServiceId::new(s), ms(d)))
+                .collect(),
+        )
+    }
+
+    /// Group: path 0 bottlenecks on svc1 which is upstream on path 1's
+    /// chain (sequential, 0 upstream); path 2 shares only the gateway with
+    /// both (parallel).
+    fn demo() -> (Vec<RequestTypeId>, DependencyGroups) {
+        let paths = vec![
+            chain(0, &[(0, 1), (1, 9)]),
+            chain(1, &[(0, 1), (1, 2), (2, 9)]),
+            chain(2, &[(0, 1), (3, 9)]),
+        ];
+        let deps = DependencyGroups::from_ground_truth(&paths);
+        (
+            vec![0, 1, 2].into_iter().map(RequestTypeId::new).collect(),
+            deps,
+        )
+    }
+
+    #[test]
+    fn upstream_sequential_is_execution_kind() {
+        let (group, deps) = demo();
+        assert_eq!(
+            blocking_kind(RequestTypeId::new(0), &group, &deps),
+            BlockingKind::Execution
+        );
+        assert_eq!(
+            blocking_kind(RequestTypeId::new(1), &group, &deps),
+            BlockingKind::CrossTier
+        );
+        assert_eq!(
+            blocking_kind(RequestTypeId::new(2), &group, &deps),
+            BlockingKind::CrossTier
+        );
+    }
+
+    #[test]
+    fn shared_bottleneck_is_execution_kind() {
+        let paths = vec![chain(0, &[(0, 1), (1, 9)]), chain(1, &[(2, 1), (1, 9)])];
+        let deps = DependencyGroups::from_ground_truth(&paths);
+        let group = vec![RequestTypeId::new(0), RequestTypeId::new(1)];
+        assert_eq!(
+            blocking_kind(RequestTypeId::new(0), &group, &deps),
+            BlockingKind::Execution
+        );
+        assert_eq!(
+            blocking_kind(RequestTypeId::new(1), &group, &deps),
+            BlockingKind::Execution
+        );
+    }
+
+    #[test]
+    fn ranking_puts_execution_first_then_by_volume() {
+        let (group, deps) = demo();
+        // Path 2 needs less volume than path 1.
+        let ranked = rank_candidates(&group, &deps, |rt| match rt.index() {
+            0 => 100.0,
+            1 => 80.0,
+            _ => 40.0,
+        });
+        let order: Vec<usize> = ranked.iter().map(|r| r.request_type.index()).collect();
+        assert_eq!(order, vec![0, 2, 1]);
+        assert_eq!(ranked[0].kind, BlockingKind::Execution);
+        assert_eq!(ranked[0].reference_volume, 100.0);
+    }
+
+    #[test]
+    fn equal_volume_breaks_ties_by_id() {
+        let (group, deps) = demo();
+        let ranked = rank_candidates(&group, &deps, |_| 50.0);
+        let order: Vec<usize> = ranked.iter().map(|r| r.request_type.index()).collect();
+        assert_eq!(order, vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,274 @@
+//! Deterministic, component-scoped randomness.
+//!
+//! Every random component of a simulation (each user population, each
+//! service's demand jitter, the attacker's bot farm, ...) draws from its own
+//! [`RngStream`], derived from the experiment's master seed and a stable
+//! label. Adding or removing one component therefore never perturbs the
+//! draws seen by another, which keeps regression baselines stable.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// Derives a child seed from a master seed and a stable textual label.
+///
+/// Implemented as FNV-1a over the label mixed with SplitMix64 finalisation,
+/// so labels that differ in one byte produce unrelated seeds.
+///
+/// # Example
+///
+/// ```
+/// let a = simnet::derive_seed(42, "users");
+/// let b = simnet::derive_seed(42, "attacker");
+/// assert_ne!(a, b);
+/// assert_eq!(a, simnet::derive_seed(42, "users"));
+/// ```
+pub fn derive_seed(master: u64, label: &str) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = FNV_OFFSET ^ master;
+    for byte in label.as_bytes() {
+        h ^= u64::from(*byte);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    splitmix64(h)
+}
+
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A named deterministic random stream.
+///
+/// Thin wrapper over [`SmallRng`] that adds the distributions the
+/// simulations need (exponential inter-arrival times, uniform jitter,
+/// weighted choice) without pulling in a distributions crate.
+///
+/// # Example
+///
+/// ```
+/// use simnet::RngStream;
+///
+/// let mut rng = RngStream::from_label(7, "demo");
+/// let x = rng.exp(1.0);
+/// assert!(x >= 0.0);
+/// let k = rng.weighted_choice(&[1.0, 0.0]);
+/// assert_eq!(k, 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RngStream {
+    inner: SmallRng,
+}
+
+impl RngStream {
+    /// Creates a stream directly from a 64-bit seed.
+    pub fn from_seed(seed: u64) -> Self {
+        RngStream {
+            inner: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Creates a stream for component `label` of the experiment seeded by
+    /// `master`. See [`derive_seed`].
+    pub fn from_label(master: u64, label: &str) -> Self {
+        Self::from_seed(derive_seed(master, label))
+    }
+
+    /// A uniform draw in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// A uniform draw in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo < hi, "uniform range must be non-empty");
+        lo + (hi - lo) * self.unit()
+    }
+
+    /// A uniform integer draw in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0, "below(0) is meaningless");
+        self.inner.gen_range(0..n)
+    }
+
+    /// An exponential draw with the given `mean` (not rate).
+    ///
+    /// A `mean` of zero or less returns `0.0`, which conveniently encodes
+    /// "no think time" / "back-to-back arrivals".
+    pub fn exp(&mut self, mean: f64) -> f64 {
+        if mean <= 0.0 {
+            return 0.0;
+        }
+        // Inverse-transform sampling; clamp the uniform away from 0 so ln is
+        // finite.
+        let u = self.unit().max(1e-12);
+        -mean * u.ln()
+    }
+
+    /// A draw from a (location-scale) lognormal specified by the mean and
+    /// coefficient-of-variation of the *resulting* distribution.
+    ///
+    /// Used for service-demand jitter: microservice compute times are
+    /// right-skewed but bounded away from zero.
+    pub fn lognormal_mean_cv(&mut self, mean: f64, cv: f64) -> f64 {
+        if mean <= 0.0 {
+            return 0.0;
+        }
+        if cv <= 0.0 {
+            return mean;
+        }
+        let sigma2 = (1.0 + cv * cv).ln();
+        let mu = mean.ln() - sigma2 / 2.0;
+        let z = self.standard_normal();
+        (mu + sigma2.sqrt() * z).exp()
+    }
+
+    /// A standard normal draw (Box–Muller).
+    pub fn standard_normal(&mut self) -> f64 {
+        let u1 = self.unit().max(1e-12);
+        let u2 = self.unit();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+
+    /// Draws an index with probability proportional to `weights[i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty or sums to zero or less.
+    pub fn weighted_choice(&mut self, weights: &[f64]) -> usize {
+        assert!(!weights.is_empty(), "weighted_choice needs weights");
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "weights must sum to a positive value");
+        let mut x = self.unit() * total;
+        for (i, w) in weights.iter().enumerate() {
+            x -= w;
+            if x <= 0.0 {
+                return i;
+            }
+        }
+        weights.len() - 1
+    }
+
+    /// A Bernoulli draw that is `true` with probability `p` (clamped to
+    /// `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.unit() < p.clamp(0.0, 1.0)
+    }
+
+    /// Fisher–Yates shuffles a slice in place.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.inner.gen_range(0..=i);
+            items.swap(i, j);
+        }
+    }
+
+    /// Returns the next raw 64 random bits (for deriving further seeds).
+    pub fn next_seed(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derive_seed_is_stable_and_label_sensitive() {
+        assert_eq!(derive_seed(1, "a"), derive_seed(1, "a"));
+        assert_ne!(derive_seed(1, "a"), derive_seed(1, "b"));
+        assert_ne!(derive_seed(1, "a"), derive_seed(2, "a"));
+    }
+
+    #[test]
+    fn streams_are_reproducible() {
+        let mut a = RngStream::from_label(9, "x");
+        let mut b = RngStream::from_label(9, "x");
+        for _ in 0..32 {
+            assert_eq!(a.unit().to_bits(), b.unit().to_bits());
+        }
+    }
+
+    #[test]
+    fn exp_mean_is_roughly_right() {
+        let mut rng = RngStream::from_label(3, "exp");
+        let n = 20_000;
+        let total: f64 = (0..n).map(|_| rng.exp(7.0)).sum();
+        let mean = total / n as f64;
+        assert!((mean - 7.0).abs() < 0.3, "mean was {mean}");
+    }
+
+    #[test]
+    fn exp_of_nonpositive_mean_is_zero() {
+        let mut rng = RngStream::from_label(3, "exp0");
+        assert_eq!(rng.exp(0.0), 0.0);
+        assert_eq!(rng.exp(-1.0), 0.0);
+    }
+
+    #[test]
+    fn lognormal_matches_requested_mean() {
+        let mut rng = RngStream::from_label(4, "ln");
+        let n = 40_000;
+        let total: f64 = (0..n).map(|_| rng.lognormal_mean_cv(10.0, 0.5)).sum();
+        let mean = total / n as f64;
+        assert!((mean - 10.0).abs() < 0.3, "mean was {mean}");
+    }
+
+    #[test]
+    fn lognormal_zero_cv_is_constant() {
+        let mut rng = RngStream::from_label(4, "lncv0");
+        assert_eq!(rng.lognormal_mean_cv(5.0, 0.0), 5.0);
+    }
+
+    #[test]
+    fn weighted_choice_respects_weights() {
+        let mut rng = RngStream::from_label(5, "w");
+        let mut counts = [0usize; 3];
+        for _ in 0..30_000 {
+            counts[rng.weighted_choice(&[1.0, 2.0, 1.0])] += 1;
+        }
+        let mid = counts[1] as f64 / 30_000.0;
+        assert!((mid - 0.5).abs() < 0.02, "mid fraction was {mid}");
+    }
+
+    #[test]
+    #[should_panic(expected = "weights must sum")]
+    fn weighted_choice_rejects_zero_weights() {
+        RngStream::from_label(5, "w0").weighted_choice(&[0.0, 0.0]);
+    }
+
+    #[test]
+    fn chance_clamps_probability() {
+        let mut rng = RngStream::from_label(6, "p");
+        assert!(rng.chance(2.0));
+        assert!(!rng.chance(-1.0));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = RngStream::from_label(8, "sh");
+        let mut v: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn below_stays_in_range() {
+        let mut rng = RngStream::from_label(10, "b");
+        for _ in 0..100 {
+            assert!(rng.below(7) < 7);
+        }
+    }
+}

@@ -1,0 +1,441 @@
+//! Online statistics used throughout the workspace.
+//!
+//! Three collectors cover the needs of monitors, the analytic model and the
+//! experiment harness:
+//!
+//! * [`Welford`] — numerically stable streaming mean/variance, O(1) memory.
+//! * [`SampleSet`] — keeps every sample for exact percentiles; used for
+//!   response-time distributions where exactness matters (the paper reports
+//!   p95 latencies).
+//! * [`Histogram`] — fixed-bin counts for memory-bounded percentile
+//!   estimates over very long runs.
+
+/// Streaming mean / variance via Welford's algorithm.
+///
+/// # Example
+///
+/// ```
+/// let mut w = simnet::Welford::new();
+/// for x in [1.0, 2.0, 3.0] {
+///     w.push(x);
+/// }
+/// assert_eq!(w.mean(), 2.0);
+/// assert_eq!(w.count(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Welford {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Welford {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Welford {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean; `0.0` when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance; `0.0` with fewer than two observations.
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation; `0.0` when empty.
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation; `0.0` when empty.
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Merges another accumulator into this one (parallel Welford).
+    pub fn merge(&mut self, other: &Welford) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        self.mean += delta * other.count as f64 / total as f64;
+        self.m2 +=
+            other.m2 + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.count = total;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Exact percentile collector: retains every sample.
+///
+/// # Example
+///
+/// ```
+/// let mut s = simnet::SampleSet::new();
+/// for x in 1..=100 {
+///     s.push(x as f64);
+/// }
+/// assert_eq!(s.percentile(0.95), 95.0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SampleSet {
+    samples: Vec<f64>,
+    sorted: bool,
+}
+
+impl SampleSet {
+    /// Creates an empty collector.
+    pub fn new() -> Self {
+        SampleSet {
+            samples: Vec::new(),
+            sorted: true,
+        }
+    }
+
+    /// Adds one sample.
+    pub fn push(&mut self, x: f64) {
+        self.samples.push(x);
+        self.sorted = false;
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// `true` when no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Arithmetic mean; `0.0` when empty.
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// The `q`-quantile (nearest-rank), `q` in `[0, 1]`; `0.0` when empty.
+    ///
+    /// Sorting is done lazily and cached, so repeated percentile queries are
+    /// cheap.
+    pub fn percentile(&mut self, q: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        if !self.sorted {
+            self.samples
+                .sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+            self.sorted = true;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((self.samples.len() as f64 * q).ceil() as usize).max(1) - 1;
+        self.samples[rank.min(self.samples.len() - 1)]
+    }
+
+    /// Largest sample; `0.0` when empty.
+    pub fn max(&self) -> f64 {
+        self.samples
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max)
+            .max(0.0)
+    }
+
+    /// Read-only view of the raw samples (in insertion or sorted order,
+    /// whichever is current).
+    pub fn as_slice(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// Removes all samples.
+    pub fn clear(&mut self) {
+        self.samples.clear();
+        self.sorted = true;
+    }
+}
+
+impl Extend<f64> for SampleSet {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        self.samples.extend(iter);
+        self.sorted = false;
+    }
+}
+
+impl FromIterator<f64> for SampleSet {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        let mut s = SampleSet::new();
+        s.extend(iter);
+        s
+    }
+}
+
+/// Fixed-bin histogram over `[0, upper)` with overflow bin.
+///
+/// Percentiles are linear-interpolated inside the matched bin; good enough
+/// for dashboards over multi-hour simulated runs where [`SampleSet`] would
+/// hold hundreds of millions of points.
+///
+/// # Example
+///
+/// ```
+/// let mut h = simnet::Histogram::new(100.0, 100);
+/// for x in 0..100 {
+///     h.record(x as f64);
+/// }
+/// let p50 = h.percentile(0.5);
+/// assert!((p50 - 50.0).abs() < 2.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    upper: f64,
+    bins: Vec<u64>,
+    overflow: u64,
+    count: u64,
+    sum: f64,
+}
+
+impl Histogram {
+    /// Creates a histogram covering `[0, upper)` with `bins` equal bins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `upper <= 0` or `bins == 0`.
+    pub fn new(upper: f64, bins: usize) -> Self {
+        assert!(upper > 0.0, "histogram upper bound must be positive");
+        assert!(bins > 0, "histogram needs at least one bin");
+        Histogram {
+            upper,
+            bins: vec![0; bins],
+            overflow: 0,
+            count: 0,
+            sum: 0.0,
+        }
+    }
+
+    /// Records one value. Values `>= upper` land in the overflow bin;
+    /// negative values clamp to bin zero.
+    pub fn record(&mut self, x: f64) {
+        self.count += 1;
+        self.sum += x;
+        if x >= self.upper {
+            self.overflow += 1;
+            return;
+        }
+        let idx = ((x.max(0.0) / self.upper) * self.bins.len() as f64) as usize;
+        let idx = idx.min(self.bins.len() - 1);
+        self.bins[idx] += 1;
+    }
+
+    /// Total number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean of recorded values; `0.0` when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Estimated `q`-quantile. Returns `upper` when the quantile falls in
+    /// the overflow bin, `0.0` when the histogram is empty.
+    pub fn percentile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        let bin_width = self.upper / self.bins.len() as f64;
+        for (i, &c) in self.bins.iter().enumerate() {
+            if seen + c >= target {
+                let into = (target - seen) as f64 / c.max(1) as f64;
+                return (i as f64 + into) * bin_width;
+            }
+            seen += c;
+        }
+        self.upper
+    }
+
+    /// Fraction of samples at or above `upper` (the overflow bin).
+    pub fn overflow_fraction(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.overflow as f64 / self.count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_mean_and_variance() {
+        let mut w = Welford::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            w.push(x);
+        }
+        assert!((w.mean() - 5.0).abs() < 1e-12);
+        assert!((w.variance() - 4.0).abs() < 1e-12);
+        assert_eq!(w.std_dev(), 2.0);
+        assert_eq!(w.min(), 2.0);
+        assert_eq!(w.max(), 9.0);
+    }
+
+    #[test]
+    fn welford_empty_is_zeroed() {
+        let w = Welford::new();
+        assert_eq!(w.mean(), 0.0);
+        assert_eq!(w.variance(), 0.0);
+        assert_eq!(w.min(), 0.0);
+        assert_eq!(w.max(), 0.0);
+    }
+
+    #[test]
+    fn welford_merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut whole = Welford::new();
+        for &x in &xs {
+            whole.push(x);
+        }
+        let mut left = Welford::new();
+        let mut right = Welford::new();
+        for &x in &xs[..37] {
+            left.push(x);
+        }
+        for &x in &xs[37..] {
+            right.push(x);
+        }
+        left.merge(&right);
+        assert_eq!(left.count(), whole.count());
+        assert!((left.mean() - whole.mean()).abs() < 1e-9);
+        assert!((left.variance() - whole.variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn welford_merge_with_empty_sides() {
+        let mut a = Welford::new();
+        a.push(3.0);
+        let empty = Welford::new();
+        let mut b = a;
+        b.merge(&empty);
+        assert_eq!(b, a);
+        let mut c = Welford::new();
+        c.merge(&a);
+        assert_eq!(c.mean(), 3.0);
+    }
+
+    #[test]
+    fn sample_set_percentiles_are_exact() {
+        let mut s: SampleSet = (1..=1000).map(|i| i as f64).collect();
+        assert_eq!(s.percentile(0.5), 500.0);
+        assert_eq!(s.percentile(0.95), 950.0);
+        assert_eq!(s.percentile(1.0), 1000.0);
+        assert_eq!(s.percentile(0.0), 1.0);
+        assert_eq!(s.len(), 1000);
+    }
+
+    #[test]
+    fn sample_set_empty_behaviour() {
+        let mut s = SampleSet::new();
+        assert!(s.is_empty());
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.percentile(0.5), 0.0);
+    }
+
+    #[test]
+    fn sample_set_push_after_percentile() {
+        let mut s = SampleSet::new();
+        s.push(10.0);
+        assert_eq!(s.percentile(0.5), 10.0);
+        s.push(1.0);
+        assert_eq!(s.percentile(0.0), 1.0);
+    }
+
+    #[test]
+    fn histogram_percentiles_approximate() {
+        let mut h = Histogram::new(1000.0, 1000);
+        for i in 0..10_000 {
+            h.record((i % 1000) as f64);
+        }
+        assert!((h.percentile(0.5) - 500.0).abs() < 5.0);
+        assert!((h.percentile(0.95) - 950.0).abs() < 5.0);
+        assert_eq!(h.count(), 10_000);
+    }
+
+    #[test]
+    fn histogram_overflow_and_clamp() {
+        let mut h = Histogram::new(10.0, 10);
+        h.record(-5.0);
+        h.record(50.0);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.overflow_fraction(), 0.5);
+        assert_eq!(h.percentile(1.0), 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "upper bound must be positive")]
+    fn histogram_rejects_bad_upper() {
+        Histogram::new(0.0, 4);
+    }
+}

@@ -1,0 +1,194 @@
+//! Millibottleneck detection from fine-grained monitoring windows.
+//!
+//! A *millibottleneck* is a maximal run of consecutive fine windows in
+//! which a service's CPU utilisation stays at (or near) saturation. The
+//! paper shows these last under 500 ms under Grunt and are therefore
+//! invisible to 1 s monitors; this module is the white-box detector used
+//! in the zoom-in analysis (Fig 13b) and by the candidate defenses
+//! (`defense` crate).
+
+use callgraph::ServiceId;
+use microsim::Metrics;
+use simnet::{SimDuration, SimTime};
+
+/// One detected saturation interval on one service.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Millibottleneck {
+    /// The saturated service.
+    pub service: ServiceId,
+    /// First saturated window start.
+    pub start: SimTime,
+    /// End of the last saturated window.
+    pub end: SimTime,
+}
+
+impl Millibottleneck {
+    /// The bottleneck length (`P_MB` in the paper's notation).
+    pub fn length(&self) -> SimDuration {
+        self.end.saturating_since(self.start)
+    }
+}
+
+/// Scans all services for maximal runs of windows with utilisation at or
+/// above `threshold` (e.g. `0.95`). Returns bottlenecks sorted by start
+/// time, then service.
+///
+/// # Example
+///
+/// ```no_run
+/// # let metrics: microsim::Metrics = unimplemented!();
+/// let mbs = telemetry::find_millibottlenecks(&metrics, 0.95);
+/// for mb in &mbs {
+///     println!("{} saturated for {}", mb.service, mb.length());
+/// }
+/// ```
+pub fn find_millibottlenecks(metrics: &Metrics, threshold: f64) -> Vec<Millibottleneck> {
+    let window = metrics.window();
+    let mut out = Vec::new();
+    for s in 0..metrics.num_services() {
+        let service = ServiceId::new(s as u32);
+        let mut run_start: Option<SimTime> = None;
+        let mut run_end = SimTime::ZERO;
+        for w in metrics.service_series(service) {
+            let saturated = w.utilization(window) >= threshold;
+            match (saturated, run_start) {
+                (true, None) => {
+                    run_start = Some(w.start);
+                    run_end = w.start + window;
+                }
+                (true, Some(_)) => run_end = w.start + window,
+                (false, Some(start)) => {
+                    out.push(Millibottleneck {
+                        service,
+                        start,
+                        end: run_end,
+                    });
+                    run_start = None;
+                }
+                (false, None) => {}
+            }
+        }
+        if let Some(start) = run_start {
+            out.push(Millibottleneck {
+                service,
+                start,
+                end: run_end,
+            });
+        }
+    }
+    out.sort_by_key(|m| (m.start, m.service));
+    out
+}
+
+/// Statistics over detected millibottlenecks of one service.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MillibottleneckStats {
+    /// Number of bottlenecks.
+    pub count: usize,
+    /// Mean length.
+    pub mean_length: SimDuration,
+    /// Longest bottleneck.
+    pub max_length: SimDuration,
+}
+
+/// Aggregates detected bottlenecks (e.g. from [`find_millibottlenecks`]),
+/// optionally restricted to one service.
+pub fn millibottleneck_stats(
+    bottlenecks: &[Millibottleneck],
+    service: Option<ServiceId>,
+) -> MillibottleneckStats {
+    let lengths: Vec<SimDuration> = bottlenecks
+        .iter()
+        .filter(|m| service.is_none_or(|s| m.service == s))
+        .map(Millibottleneck::length)
+        .collect();
+    if lengths.is_empty() {
+        return MillibottleneckStats {
+            count: 0,
+            mean_length: SimDuration::ZERO,
+            max_length: SimDuration::ZERO,
+        };
+    }
+    let total: u64 = lengths.iter().map(|l| l.as_micros()).sum();
+    MillibottleneckStats {
+        count: lengths.len(),
+        mean_length: SimDuration::from_micros(total / lengths.len() as u64),
+        max_length: *lengths.iter().max().expect("non-empty"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use callgraph::{RequestTypeId, ServiceSpec, TopologyBuilder};
+    use microsim::agents::FixedRate;
+    use microsim::{SimConfig, Simulation};
+
+    #[test]
+    fn detects_burst_induced_bottleneck() {
+        let mut b = TopologyBuilder::new();
+        let gw = b.add_service(ServiceSpec::new("gw").threads(128).demand_cv(0.0));
+        b.add_request_type("r", vec![(gw, SimDuration::from_millis(10))]);
+        let mut sim = Simulation::new(b.build(), SimConfig::default());
+        // 40 requests of 10 ms back-to-back -> ~400 ms of saturation.
+        sim.add_agent(Box::new(FixedRate::new(
+            RequestTypeId::new(0),
+            SimDuration::from_millis(1),
+            40,
+        )));
+        sim.run_until(SimTime::from_secs(2));
+        let m = sim.into_metrics();
+        let mbs = find_millibottlenecks(&m, 0.95);
+        assert_eq!(mbs.len(), 1, "expected exactly one bottleneck: {mbs:?}");
+        let len = mbs[0].length().as_millis_f64();
+        assert!((300.0..=600.0).contains(&len), "length {len} ms");
+
+        let stats = millibottleneck_stats(&mbs, Some(ServiceId::new(0)));
+        assert_eq!(stats.count, 1);
+        assert_eq!(stats.mean_length, mbs[0].length());
+        assert_eq!(stats.max_length, mbs[0].length());
+    }
+
+    #[test]
+    fn quiet_system_has_no_bottlenecks() {
+        let mut b = TopologyBuilder::new();
+        let gw = b.add_service(ServiceSpec::new("gw").threads(128).demand_cv(0.0));
+        b.add_request_type("r", vec![(gw, SimDuration::from_millis(1))]);
+        let mut sim = Simulation::new(b.build(), SimConfig::default());
+        sim.add_agent(Box::new(FixedRate::new(
+            RequestTypeId::new(0),
+            SimDuration::from_millis(50),
+            20,
+        )));
+        sim.run_until(SimTime::from_secs(2));
+        let mbs = find_millibottlenecks(&sim.into_metrics(), 0.95);
+        assert!(mbs.is_empty(), "unexpected bottlenecks: {mbs:?}");
+    }
+
+    #[test]
+    fn stats_of_empty_are_zero() {
+        let stats = millibottleneck_stats(&[], None);
+        assert_eq!(stats.count, 0);
+        assert_eq!(stats.mean_length, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn stats_filter_by_service() {
+        let mbs = vec![
+            Millibottleneck {
+                service: ServiceId::new(0),
+                start: SimTime::ZERO,
+                end: SimTime::from_millis(100),
+            },
+            Millibottleneck {
+                service: ServiceId::new(1),
+                start: SimTime::ZERO,
+                end: SimTime::from_millis(300),
+            },
+        ];
+        assert_eq!(millibottleneck_stats(&mbs, None).count, 2);
+        let s1 = millibottleneck_stats(&mbs, Some(ServiceId::new(1)));
+        assert_eq!(s1.count, 1);
+        assert_eq!(s1.max_length, SimDuration::from_millis(300));
+    }
+}

@@ -1,0 +1,104 @@
+//! Property-based tests of the monitoring views' consistency.
+
+use callgraph::{RequestTypeId, ServiceId, ServiceSpec, TopologyBuilder};
+use microsim::agents::FixedRate;
+use microsim::{SimConfig, Simulation};
+use proptest::prelude::*;
+use simnet::{SimDuration, SimTime};
+use telemetry::{CoarseMonitor, FineMonitor, LatencySeries, LatencySummary, Traffic};
+
+fn run_sim(rate_per_s: u64, demand_ms: u64, secs: u64, seed: u64) -> microsim::Metrics {
+    let mut b = TopologyBuilder::new();
+    let gw = b.add_service(ServiceSpec::new("gw").threads(256).cores(4).demand_cv(0.1));
+    b.add_request_type("r", vec![(gw, SimDuration::from_millis(demand_ms))]);
+    let mut sim = Simulation::new(b.build(), SimConfig::default().seed(seed));
+    let count = rate_per_s * secs;
+    if count > 0 {
+        sim.add_agent(Box::new(FixedRate::new(
+            RequestTypeId::new(0),
+            SimDuration::from_micros(1_000_000 / rate_per_s),
+            count,
+        )));
+    }
+    sim.run_until(SimTime::from_secs(secs + 5));
+    sim.into_metrics()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The coarse (1 s) view is the mean of the fine (100 ms) view: both
+    /// integrate to the same total busy time.
+    #[test]
+    fn coarse_equals_aggregated_fine(
+        rate in 5u64..150,
+        demand in 1u64..6,
+        seed in any::<u64>(),
+    ) {
+        let m = run_sim(rate, demand, 8, seed);
+        let svc = ServiceId::new(0);
+        let fine = FineMonitor::new(&m);
+        let coarse = CoarseMonitor::new(&m, SimDuration::from_secs(1));
+        let fine_mean = {
+            let s = fine.utilization_series(svc);
+            s.iter().map(|(_, u)| u).sum::<f64>() / s.len() as f64
+        };
+        let coarse_mean = {
+            let s = coarse.series(svc);
+            s.iter().map(|c| c.utilization).sum::<f64>() / s.len() as f64
+        };
+        // Equal up to a trailing partial-second window.
+        prop_assert!(
+            (fine_mean - coarse_mean).abs() < 0.02,
+            "fine {fine_mean:.4} vs coarse {coarse_mean:.4}"
+        );
+    }
+
+    /// Latency summaries and series agree: the count-weighted series mean
+    /// equals the summary mean over the same interval.
+    #[test]
+    fn series_consistent_with_summary(
+        rate in 5u64..100,
+        demand in 1u64..6,
+        seed in any::<u64>(),
+    ) {
+        let m = run_sim(rate, demand, 6, seed);
+        let to = SimTime::from_secs(11);
+        let summary = LatencySummary::compute(&m, Traffic::All, None, SimTime::ZERO, to);
+        let series = LatencySeries::compute(&m, Traffic::All, SimDuration::from_secs(1), to);
+        let (mut weighted, mut n) = (0.0, 0usize);
+        for (_, mean, count) in series.points() {
+            weighted += mean * *count as f64;
+            n += count;
+        }
+        prop_assert_eq!(n, summary.count);
+        if n > 0 {
+            let series_mean = weighted / n as f64;
+            prop_assert!(
+                (series_mean - summary.avg_ms).abs() < 1e-6 * (1.0 + summary.avg_ms),
+                "series {series_mean} vs summary {}",
+                summary.avg_ms
+            );
+        }
+    }
+
+    /// Percentile ordering holds in every summary.
+    #[test]
+    fn summary_percentiles_ordered(
+        rate in 5u64..100,
+        demand in 1u64..8,
+        seed in any::<u64>(),
+    ) {
+        let m = run_sim(rate, demand, 5, seed);
+        let s = LatencySummary::compute(
+            &m,
+            Traffic::All,
+            None,
+            SimTime::ZERO,
+            SimTime::from_secs(10),
+        );
+        prop_assert!(s.avg_ms <= s.max_ms + 1e-9);
+        prop_assert!(s.p95_ms <= s.p99_ms + 1e-9);
+        prop_assert!(s.p99_ms <= s.max_ms + 1e-9);
+    }
+}

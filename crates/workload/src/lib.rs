@@ -1,0 +1,27 @@
+//! Workload generation: legitimate-user traffic for the target application.
+//!
+//! Reproduces the paper's baseline workloads:
+//!
+//! * [`ClosedLoopUsers`] — the Section V-B generator: a population of
+//!   emulated users, each navigating the application's request types
+//!   through a Markov chain ([`BrowsingModel`]) with exponential think
+//!   times (7 s mean in the paper). Closed-loop means a user has at most
+//!   one outstanding request.
+//! * [`PoissonSource`] — an open-loop source at a fixed or time-varying
+//!   rate, used by experiments that specify workloads in req/s.
+//! * [`RateTrace`] — piecewise-constant rate series; includes a
+//!   re-synthesis of the "Large Variation" bursty trace (Gandhi et al.)
+//!   used in Fig 15, swinging between 1 k and 6 k req/s.
+//!
+//! All generators are [`microsim::Agent`]s: they interact with the platform
+//! exactly like any external client.
+
+pub mod mix;
+pub mod poisson;
+pub mod trace;
+pub mod users;
+
+pub use mix::RequestMix;
+pub use poisson::PoissonSource;
+pub use trace::RateTrace;
+pub use users::{BrowsingModel, ClosedLoopUsers};

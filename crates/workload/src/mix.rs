@@ -1,0 +1,121 @@
+//! Weighted request mixes.
+
+use callgraph::RequestTypeId;
+use serde::{Deserialize, Serialize};
+use simnet::RngStream;
+
+/// A probability mix over request types.
+///
+/// # Example
+///
+/// ```
+/// use callgraph::RequestTypeId;
+/// use workload::RequestMix;
+///
+/// let mix = RequestMix::new(vec![
+///     (RequestTypeId::new(0), 0.6),
+///     (RequestTypeId::new(1), 0.4),
+/// ]);
+/// let mut rng = simnet::RngStream::from_label(1, "mix");
+/// let rt = mix.sample(&mut rng);
+/// assert!(rt == RequestTypeId::new(0) || rt == RequestTypeId::new(1));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RequestMix {
+    entries: Vec<(RequestTypeId, f64)>,
+}
+
+impl RequestMix {
+    /// Creates a mix from `(type, weight)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is empty or the weights do not sum to a positive
+    /// value.
+    pub fn new(entries: Vec<(RequestTypeId, f64)>) -> Self {
+        assert!(!entries.is_empty(), "mix needs at least one entry");
+        let total: f64 = entries.iter().map(|(_, w)| w).sum();
+        assert!(total > 0.0, "mix weights must sum to a positive value");
+        RequestMix { entries }
+    }
+
+    /// A uniform mix over the given request types.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `types` is empty.
+    pub fn uniform(types: impl IntoIterator<Item = RequestTypeId>) -> Self {
+        Self::new(types.into_iter().map(|t| (t, 1.0)).collect())
+    }
+
+    /// A mix containing a single request type.
+    pub fn single(rt: RequestTypeId) -> Self {
+        Self::new(vec![(rt, 1.0)])
+    }
+
+    /// Draws one request type.
+    pub fn sample(&self, rng: &mut RngStream) -> RequestTypeId {
+        let weights: Vec<f64> = self.entries.iter().map(|(_, w)| *w).collect();
+        self.entries[rng.weighted_choice(&weights)].0
+    }
+
+    /// The `(type, weight)` entries.
+    pub fn entries(&self) -> &[(RequestTypeId, f64)] {
+        &self.entries
+    }
+
+    /// The request types in the mix.
+    pub fn types(&self) -> impl Iterator<Item = RequestTypeId> + '_ {
+        self.entries.iter().map(|(t, _)| *t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_respects_weights() {
+        let mix = RequestMix::new(vec![
+            (RequestTypeId::new(0), 3.0),
+            (RequestTypeId::new(1), 1.0),
+        ]);
+        let mut rng = RngStream::from_label(5, "t");
+        let mut zero = 0;
+        for _ in 0..10_000 {
+            if mix.sample(&mut rng) == RequestTypeId::new(0) {
+                zero += 1;
+            }
+        }
+        let frac = zero as f64 / 10_000.0;
+        assert!((frac - 0.75).abs() < 0.02, "fraction {frac}");
+    }
+
+    #[test]
+    fn uniform_covers_all_types() {
+        let mix = RequestMix::uniform((0..4).map(RequestTypeId::new));
+        assert_eq!(mix.entries().len(), 4);
+        assert!(mix.entries().iter().all(|(_, w)| *w == 1.0));
+    }
+
+    #[test]
+    fn single_always_returns_its_type() {
+        let mix = RequestMix::single(RequestTypeId::new(7));
+        let mut rng = RngStream::from_label(1, "s");
+        for _ in 0..10 {
+            assert_eq!(mix.sample(&mut rng), RequestTypeId::new(7));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn empty_mix_rejected() {
+        RequestMix::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive value")]
+    fn zero_weights_rejected() {
+        RequestMix::new(vec![(RequestTypeId::new(0), 0.0)]);
+    }
+}

@@ -1,0 +1,151 @@
+//! Piecewise-constant request-rate traces.
+
+use serde::{Deserialize, Serialize};
+use simnet::{RngStream, SimDuration, SimTime};
+
+/// A piecewise-constant req/s series.
+///
+/// Segment `i` covers `[i * step, (i+1) * step)`. Queries beyond the last
+/// segment return the last rate (so sources do not die at trace end).
+///
+/// # Example
+///
+/// ```
+/// use simnet::{SimDuration, SimTime};
+/// use workload::RateTrace;
+///
+/// let trace = RateTrace::new(SimDuration::from_secs(10), vec![100.0, 500.0]);
+/// assert_eq!(trace.rate_at(SimTime::from_secs(3)), 100.0);
+/// assert_eq!(trace.rate_at(SimTime::from_secs(12)), 500.0);
+/// assert_eq!(trace.rate_at(SimTime::from_secs(99)), 500.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RateTrace {
+    step: SimDuration,
+    rates: Vec<f64>,
+}
+
+impl RateTrace {
+    /// Creates a trace with the given segment length and per-segment rates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step` is zero, `rates` is empty, or any rate is negative
+    /// or non-finite.
+    pub fn new(step: SimDuration, rates: Vec<f64>) -> Self {
+        assert!(!step.is_zero(), "trace step must be positive");
+        assert!(!rates.is_empty(), "trace needs at least one segment");
+        assert!(
+            rates.iter().all(|r| r.is_finite() && *r >= 0.0),
+            "rates must be finite and non-negative"
+        );
+        RateTrace { step, rates }
+    }
+
+    /// A constant-rate trace.
+    pub fn constant(rate: f64) -> Self {
+        Self::new(SimDuration::from_secs(1), vec![rate])
+    }
+
+    /// Re-synthesis of the "Large Variation" bursty workload trace
+    /// (Gandhi et al., used in Fig 15): the rate performs large random
+    /// swings between `lo` and `hi` req/s with 30 s segments over
+    /// `duration`, alternating ramps and plateaus.
+    pub fn large_variation(seed: u64, duration: SimDuration, lo: f64, hi: f64) -> Self {
+        assert!(lo >= 0.0 && hi > lo, "need 0 <= lo < hi");
+        let step = SimDuration::from_secs(30);
+        let segments = (duration.as_micros() / step.as_micros()).max(1) as usize;
+        let mut rng = RngStream::from_label(seed, "trace/large-variation");
+        let mut rates = Vec::with_capacity(segments);
+        let mut current = rng.uniform(lo, hi);
+        for _ in 0..segments {
+            // Alternate between big jumps (bursts) and small drifts.
+            if rng.chance(0.4) {
+                current = rng.uniform(lo, hi);
+            } else {
+                let drift = (hi - lo) * 0.1;
+                current = (current + rng.uniform(-drift, drift)).clamp(lo, hi);
+            }
+            rates.push(current);
+        }
+        RateTrace { step, rates }
+    }
+
+    /// The rate at time `t` (req/s).
+    pub fn rate_at(&self, t: SimTime) -> f64 {
+        let idx = (t.as_micros() / self.step.as_micros()) as usize;
+        self.rates[idx.min(self.rates.len() - 1)]
+    }
+
+    /// Segment length.
+    pub fn step(&self) -> SimDuration {
+        self.step
+    }
+
+    /// The per-segment rates.
+    pub fn rates(&self) -> &[f64] {
+        &self.rates
+    }
+
+    /// Total trace duration (segments × step).
+    pub fn duration(&self) -> SimDuration {
+        self.step * self.rates.len() as u64
+    }
+
+    /// Largest rate in the trace.
+    pub fn peak(&self) -> f64 {
+        self.rates.iter().cloned().fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_trace_everywhere() {
+        let t = RateTrace::constant(250.0);
+        assert_eq!(t.rate_at(SimTime::ZERO), 250.0);
+        assert_eq!(t.rate_at(SimTime::from_secs(3600)), 250.0);
+    }
+
+    #[test]
+    fn segments_index_by_time() {
+        let t = RateTrace::new(SimDuration::from_secs(5), vec![1.0, 2.0, 3.0]);
+        assert_eq!(t.rate_at(SimTime::from_secs(0)), 1.0);
+        assert_eq!(t.rate_at(SimTime::from_secs(5)), 2.0);
+        assert_eq!(t.rate_at(SimTime::from_secs(14)), 3.0);
+        assert_eq!(t.duration(), SimDuration::from_secs(15));
+    }
+
+    #[test]
+    fn large_variation_stays_in_bounds() {
+        let t = RateTrace::large_variation(7, SimDuration::from_secs(1200), 1000.0, 6000.0);
+        assert_eq!(t.rates().len(), 40);
+        for &r in t.rates() {
+            assert!((1000.0..=6000.0).contains(&r), "rate {r} out of bounds");
+        }
+        // It actually varies (not a constant line).
+        let min = t.rates().iter().cloned().fold(f64::MAX, f64::min);
+        assert!(t.peak() - min > 1000.0, "trace should swing widely");
+    }
+
+    #[test]
+    fn large_variation_is_deterministic() {
+        let a = RateTrace::large_variation(9, SimDuration::from_secs(600), 1000.0, 6000.0);
+        let b = RateTrace::large_variation(9, SimDuration::from_secs(600), 1000.0, 6000.0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "trace step must be positive")]
+    fn zero_step_rejected() {
+        RateTrace::new(SimDuration::ZERO, vec![1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn negative_rate_rejected() {
+        RateTrace::new(SimDuration::from_secs(1), vec![-1.0]);
+    }
+}

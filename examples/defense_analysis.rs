@@ -1,0 +1,99 @@
+//! The defender's view of a Grunt campaign — and what it would take to
+//! catch it (Section VI).
+//!
+//! Runs a full campaign, then analyses the recorded run with every
+//! detector in the `defense` crate: the deployed stack (Snort-style rules,
+//! per-IP rate shield, 1 s resource alerts) that the attack evades, and
+//! the proposed millibottleneck-correlation defense that can catch it —
+//! at the price of fine-grained monitoring.
+//!
+//! ```text
+//! cargo run --release -p lab --example defense_analysis
+//! ```
+
+use apps::social_network;
+use defense::{AlertKind, CorrelationDefense, Ids, IdsConfig, RateShield};
+use grunt::{CampaignConfig, GruntCampaign};
+use microsim::{SimConfig, Simulation};
+use simnet::{SimDuration, SimTime};
+use workload::ClosedLoopUsers;
+
+fn main() {
+    let users = 7_000;
+    let app = social_network(users);
+    let mut sim = Simulation::new(app.topology().clone(), SimConfig::default().seed(13));
+    sim.add_agent(Box::new(ClosedLoopUsers::new(
+        users,
+        app.browsing_model(),
+        99,
+    )));
+    sim.run_until(SimTime::from_secs(30));
+    let campaign = GruntCampaign::run(
+        &mut sim,
+        CampaignConfig::default(),
+        SimDuration::from_secs(300),
+    );
+    let horizon = sim.now();
+    let metrics = sim.metrics();
+    println!(
+        "campaign complete: {} attack requests from {} bots\n",
+        campaign.report.requests_sent, campaign.bots_used
+    );
+
+    // ---- the deployed detection stack ----
+    println!("== deployed stack (what the paper's clouds run) ==");
+    let ids = Ids::new(IdsConfig::default()).analyze(metrics);
+    for kind in [
+        AlertKind::Content,
+        AlertKind::Protocol,
+        AlertKind::IntervalViolation,
+        AlertKind::ResourceSaturation,
+    ] {
+        let total = ids.of_kind(kind).count();
+        let attacker = ids.of_kind(kind).filter(|a| a.hit_attacker).count();
+        println!("  {kind:?}: {total} alerts ({attacker} attributable to the attacker)");
+    }
+    let shield = RateShield::paper_default();
+    println!(
+        "  RateShield (100 req / IP / 5 min): {} IPs blocked",
+        shield.blocked_count(metrics)
+    );
+
+    // ---- the Section VI candidate defense ----
+    println!("\n== millibottleneck-correlation defense (proposed, needs 100 ms monitoring) ==");
+    let report = CorrelationDefense::default().analyze(metrics, horizon);
+    println!(
+        "  bottleneck-correlated windows cover {:.1}% of the run",
+        report.window_coverage() * 100.0
+    );
+    println!(
+        "  flagged sessions: {} (precision {:.2}, recall {:.2})",
+        report.flagged_sessions().len(),
+        report.precision(),
+        report.recall()
+    );
+    let top: Vec<String> = report
+        .scores()
+        .iter()
+        .take(5)
+        .map(|s| {
+            format!(
+                "session {} lift {:.1} ({}/{} reqs){}",
+                s.session,
+                s.lift,
+                s.hits,
+                s.total,
+                if s.is_attack { " [attacker]" } else { "" }
+            )
+        })
+        .collect();
+    println!("  most suspicious sessions:");
+    for line in top {
+        println!("    {line}");
+    }
+    println!(
+        "\nconclusion: the deployed stack sees nothing attributable; correlating \
+         request timing with fine-grained millibottleneck detection exposes the \
+         bot sessions — the defense direction Section VI argues for."
+    );
+}

@@ -1,0 +1,88 @@
+//! The analytic model as a planning tool: given a target's parameters,
+//! predict burst impact and derive stealthy attack parameters with the
+//! equations of Section III — no simulation involved.
+//!
+//! ```text
+//! cargo run --release -p lab --example model_playground
+//! ```
+
+use queueing::{
+    cross_tier_queue, damage_latency, execution_queue, group_min_damage, group_total_damage,
+    maintenance_interval, millibottleneck_length, min_saturating_rate, solve_length_for_pmb,
+    BurstPlan, PathParams, StageParams,
+};
+
+fn main() {
+    // A write path: shared hub (compose-post-like) above a storage
+    // bottleneck, parameters in the range of a small container deployment.
+    let hub = StageParams::symmetric(32.0, 750.0, 180.0);
+    let storage = StageParams::symmetric(20.0, 260.0, 80.0);
+    let path = PathParams::new(vec![hub, storage], 1, 0);
+
+    println!("== single-burst analysis (Equations 1-5) ==");
+    let stealth_limit_s = 0.5;
+    let bottleneck = path.bottleneck_stage();
+
+    // Step 1 of the Commander's initialisation: the minimum saturating
+    // rate, with 30% margin.
+    let rate = min_saturating_rate(bottleneck.capacity_attack, bottleneck.lambda, 1.3);
+    println!("minimum saturating burst rate B = {rate:.0} req/s");
+
+    // Step 2: the longest burst that stays under the stealth limit.
+    let max_len = solve_length_for_pmb(
+        stealth_limit_s,
+        rate,
+        bottleneck.capacity_attack,
+        bottleneck.lambda,
+        bottleneck.capacity_legit,
+    )
+    .expect("path is attackable");
+    let burst = BurstPlan::new(rate, max_len);
+    println!(
+        "longest stealthy burst L = {:.0} ms -> volume V = {:.0} requests",
+        max_len * 1e3,
+        burst.volume()
+    );
+
+    // Predicted impact of that burst.
+    let q_exec = execution_queue(burst, bottleneck.lambda, bottleneck.capacity_attack);
+    let q_cross = cross_tier_queue(burst, &path);
+    let t_damage = damage_latency(q_exec.max(q_cross), bottleneck.capacity_attack);
+    let pmb = millibottleneck_length(
+        burst,
+        bottleneck.capacity_attack,
+        bottleneck.lambda,
+        bottleneck.capacity_legit,
+    );
+    println!("queue build-up: execution {q_exec:.0} req, cross-tier {q_cross:.0} req");
+    println!(
+        "predicted damage latency t_damage = {:.0} ms, millibottleneck P_MB = {:.0} ms",
+        t_damage * 1e3,
+        pmb * 1e3
+    );
+
+    // Persistent blocking over a 3-path group (Equations 6-9).
+    println!("\n== dependency-group attack plan (Equations 6-9) ==");
+    let per_path = [t_damage, 0.35, 0.42];
+    let t_d = group_total_damage(&per_path);
+    let first_interval = 0.3;
+    let t_min = group_min_damage(t_d, first_interval);
+    println!(
+        "opening mixed burst over 3 paths: total damage t_D = {:.0} ms; after the \
+         first {first_interval:.1} s interval, persistent t_min = {:.0} ms",
+        t_d * 1e3,
+        t_min * 1e3
+    );
+    for (i, d) in per_path.iter().enumerate() {
+        println!(
+            "  path {i}: maintain with interval I_{i} = t_damage_{i} = {:.0} ms",
+            maintenance_interval(*d) * 1e3
+        );
+    }
+    println!(
+        "\nEach maintenance burst lands exactly as its predecessor's queue drains \
+         (Equation 8's fixed point), so every request entering the group keeps \
+         seeing at least {:.0} ms of queueing.",
+        t_min * 1e3
+    );
+}

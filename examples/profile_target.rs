@@ -1,0 +1,77 @@
+//! Blackbox dependency profiling of an unknown target.
+//!
+//! Generates a µBench-style application the "attacker" has never seen,
+//! runs only the Profiler module against it, and compares the inferred
+//! dependency groups with the administrator's ground truth.
+//!
+//! ```text
+//! cargo run --release -p lab --example profile_target
+//! ```
+
+use apps::{UBench, UBenchConfig};
+use grunt::{Profiler, ProfilerConfig};
+use microsim::{SimConfig, Simulation};
+use simnet::{SimDuration, SimTime};
+use telemetry::{GroundTruth, ProfilerScore};
+use workload::ClosedLoopUsers;
+
+fn main() {
+    // An unknown 62-microservice application under moderate load.
+    let app = UBench::generate(UBenchConfig::app1(4_000));
+    println!(
+        "target: {} unique microservices, {} public request types (architecture \
+         unknown to the attacker)",
+        app.topology().num_services(),
+        app.topology().num_request_types()
+    );
+
+    let mut sim = Simulation::new(app.topology().clone(), SimConfig::default().seed(21));
+    sim.add_agent(Box::new(ClosedLoopUsers::new(
+        4_000,
+        app.browsing_model(),
+        3,
+    )));
+    sim.run_until(SimTime::from_secs(10));
+
+    // Run the profiler to completion.
+    let id = sim.add_agent(Box::new(Profiler::new(ProfilerConfig::default())));
+    loop {
+        let next = sim.now() + SimDuration::from_secs(30);
+        sim.run_until(next);
+        if sim.agent_as::<Profiler>(id).expect("registered").is_done() {
+            break;
+        }
+    }
+    let outcome = sim
+        .agent_as::<Profiler>(id)
+        .expect("registered")
+        .outcome()
+        .expect("done")
+        .clone();
+    println!(
+        "profiling took {} of simulated time and {} requests",
+        outcome.finished_at, outcome.requests_sent
+    );
+
+    // Baselines and saturation volumes learned per path.
+    println!("\nper-path measurements:");
+    for (rt, name) in &outcome.catalog {
+        println!(
+            "  {name:12} baseline {:5.1} ms, saturation volume {:>4} requests",
+            outcome.baseline_ms[rt], outcome.v_sat[rt]
+        );
+    }
+
+    // Estimated groups vs ground truth.
+    let gt = GroundTruth::from_topology(app.topology());
+    println!("\nestimated groups: {:?}", outcome.groups.groups());
+    println!("ground truth:     {:?}", gt.groups().groups());
+    let members: Vec<_> = outcome.catalog.iter().map(|(id, _)| *id).collect();
+    let score = ProfilerScore::compute(&members, &gt, &outcome.groups);
+    println!(
+        "precision {:.2}, recall {:.2}, F-score {:.2}",
+        score.precision(),
+        score.recall(),
+        score.f_score()
+    );
+}

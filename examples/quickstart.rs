@@ -1,0 +1,92 @@
+//! Quickstart: deploy SocialNetwork, run a baseline, launch a full Grunt
+//! campaign, and print what happened.
+//!
+//! ```text
+//! cargo run --release -p lab --example quickstart
+//! ```
+
+use apps::social_network;
+use grunt::{CampaignConfig, GruntCampaign};
+use microsim::{SimConfig, Simulation};
+use simnet::{SimDuration, SimTime};
+use telemetry::{LatencySummary, Traffic};
+use workload::ClosedLoopUsers;
+
+fn main() {
+    // 1. Deploy the target: SocialNetwork provisioned for 7 000 users.
+    let users = 7_000;
+    let app = social_network(users);
+    println!(
+        "target: SocialNetwork — {} microservices, {} public request types",
+        app.topology().num_services(),
+        app.topology().num_request_types()
+    );
+
+    // 2. Drive it with a closed-loop user population (7 s think time).
+    let mut sim = Simulation::new(app.topology().clone(), SimConfig::default().seed(7));
+    sim.add_agent(Box::new(ClosedLoopUsers::new(
+        users,
+        app.browsing_model(),
+        42,
+    )));
+
+    // 3. Measure the healthy baseline.
+    sim.run_until(SimTime::from_secs(60));
+    let baseline = LatencySummary::compute(
+        sim.metrics(),
+        Traffic::Legit,
+        None,
+        SimTime::from_secs(10),
+        SimTime::from_secs(60),
+    );
+    println!(
+        "baseline: avg {:.0} ms, p95 {:.0} ms over {} requests",
+        baseline.avg_ms, baseline.p95_ms, baseline.count
+    );
+
+    // 4. Launch the attack: blackbox profiling, then 5 minutes of
+    //    alternating millibottleneck bursts.
+    let campaign = GruntCampaign::run(
+        &mut sim,
+        CampaignConfig::default(),
+        SimDuration::from_secs(300),
+    );
+    println!(
+        "profiling: {} requests, {} dependency groups found",
+        campaign.profile.requests_sent,
+        campaign.profile.groups.multi_member_groups().count()
+    );
+    for group in campaign.profile.groups.multi_member_groups() {
+        let names: Vec<_> = group
+            .iter()
+            .map(|rt| app.topology().request_type(*rt).name.clone())
+            .collect();
+        println!("  group: {}", names.join(", "));
+    }
+
+    // 5. Report the damage.
+    let a0 = campaign.attack_started + SimDuration::from_secs(20);
+    let a1 = campaign.attack_started + SimDuration::from_secs(300);
+    let attacked = LatencySummary::compute(sim.metrics(), Traffic::Legit, None, a0, a1);
+    println!(
+        "under attack: avg {:.0} ms ({:.1}x), p95 {:.0} ms ({:.1}x)",
+        attacked.avg_ms,
+        attacked.avg_ms / baseline.avg_ms,
+        attacked.p95_ms,
+        attacked.p95_ms / baseline.p95_ms
+    );
+    let pacing = CampaignConfig::default().commander.burst_length;
+    let pmb_ms = campaign
+        .report
+        .mean_pmb()
+        .map(|d| (d.as_millis_f64() - pacing.as_millis_f64()).max(0.0))
+        .unwrap_or(0.0);
+    println!(
+        "attacker: {} bursts, {} requests total, {} bots, mean millibottleneck {:.0} ms \
+         (stealth goal: <= 500 ms)",
+        campaign.report.bursts.len(),
+        campaign.report.requests_sent,
+        campaign.bots_used,
+        pmb_ms
+    );
+}

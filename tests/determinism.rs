@@ -1,0 +1,57 @@
+//! Workspace-level determinism: identical seeds reproduce an entire
+//! campaign — platform events, profiling decisions, attack schedule and
+//! every recorded metric — bit for bit.
+
+use apps::social_network;
+use grunt::{CampaignConfig, GruntCampaign};
+use microsim::{SimConfig, Simulation};
+use simnet::{SimDuration, SimTime};
+use workload::ClosedLoopUsers;
+
+fn run_once(seed: u64) -> (Vec<(u64, u64)>, usize, u64, Vec<u32>) {
+    let users = 1_500;
+    let app = social_network(users);
+    let mut sim = Simulation::new(app.topology().clone(), SimConfig::default().seed(seed));
+    sim.add_agent(Box::new(ClosedLoopUsers::new(
+        users,
+        app.browsing_model(),
+        seed ^ 0xABCD,
+    )));
+    sim.run_until(SimTime::from_secs(15));
+    let campaign = GruntCampaign::run(
+        &mut sim,
+        CampaignConfig::default(),
+        SimDuration::from_secs(60),
+    );
+    let log: Vec<(u64, u64)> = sim
+        .metrics()
+        .request_log()
+        .iter()
+        .map(|r| (r.submitted_at.as_micros(), r.completed_at.as_micros()))
+        .collect();
+    let volumes: Vec<u32> = campaign.report.bursts.iter().map(|b| b.volume).collect();
+    (
+        log,
+        campaign.profile.groups.groups().len(),
+        campaign.report.requests_sent,
+        volumes,
+    )
+}
+
+#[test]
+fn identical_seed_reproduces_the_entire_campaign() {
+    let a = run_once(99);
+    let b = run_once(99);
+    assert_eq!(a.0.len(), b.0.len(), "request counts differ");
+    assert_eq!(a.0, b.0, "request timelines differ");
+    assert_eq!(a.1, b.1, "profiled groups differ");
+    assert_eq!(a.2, b.2, "attack volume differs");
+    assert_eq!(a.3, b.3, "burst schedule differs");
+}
+
+#[test]
+fn different_seed_changes_the_run() {
+    let a = run_once(99);
+    let b = run_once(100);
+    assert_ne!(a.0, b.0, "different seeds should produce different runs");
+}

@@ -1,0 +1,76 @@
+//! Cross-application generality: the full Grunt pipeline against the
+//! MediaService target (an application the attack framework has no
+//! knowledge of), including the paper's §VI limitation that CDN-served
+//! request types escape the attack.
+
+use apps::media_service;
+use grunt::{CampaignConfig, GruntCampaign};
+use microsim::{SimConfig, Simulation};
+use simnet::{SimDuration, SimTime};
+use telemetry::{GroundTruth, LatencySummary, ProfilerScore, Traffic};
+use workload::ClosedLoopUsers;
+
+#[test]
+fn campaign_damages_media_service_but_not_its_cdn_path() {
+    let users = 3_000;
+    let app = media_service(users);
+    let mut sim = Simulation::new(app.topology().clone(), SimConfig::default().seed(7777));
+    sim.add_agent(Box::new(ClosedLoopUsers::new(
+        users,
+        app.browsing_model(),
+        7,
+    )));
+    sim.run_until(SimTime::from_secs(20));
+
+    let attack = SimDuration::from_secs(150);
+    let campaign = GruntCampaign::run(&mut sim, CampaignConfig::default(), attack);
+
+    // The profiler generalises: groups match ground truth well on an app
+    // it was never tuned against.
+    let gt = GroundTruth::from_topology(app.topology());
+    let members: Vec<_> = campaign.profile.catalog.iter().map(|(id, _)| *id).collect();
+    let score = ProfilerScore::compute(&members, &gt, &campaign.profile.groups);
+    assert!(
+        score.f_score() > 0.75,
+        "profiler F {:.2} on MediaService",
+        score.f_score()
+    );
+
+    let m = sim.metrics();
+    let a0 = campaign.attack_started + SimDuration::from_secs(20);
+    let a1 = campaign.attack_started + attack;
+    let base = LatencySummary::compute(
+        m,
+        Traffic::Legit,
+        None,
+        SimTime::from_secs(5),
+        SimTime::from_secs(20),
+    );
+    let att = LatencySummary::compute(m, Traffic::Legit, None, a0, a1);
+    assert!(
+        att.avg_ms > 3.0 * base.avg_ms,
+        "damage {:.0} -> {:.0} ms",
+        base.avg_ms,
+        att.avg_ms
+    );
+
+    // The CDN-served trailer path escapes (paper §VI, limitation 1).
+    let trailer = app
+        .topology()
+        .request_type_by_name("stream-trailer")
+        .expect("known type");
+    let trailer_base = LatencySummary::compute(
+        m,
+        Traffic::Legit,
+        Some(trailer),
+        SimTime::from_secs(5),
+        SimTime::from_secs(20),
+    );
+    let trailer_att = LatencySummary::compute(m, Traffic::Legit, Some(trailer), a0, a1);
+    assert!(
+        trailer_att.avg_ms < trailer_base.avg_ms * 2.0 + 10.0,
+        "CDN path must escape: {:.0} -> {:.0} ms",
+        trailer_base.avg_ms,
+        trailer_att.avg_ms
+    );
+}
