@@ -61,7 +61,8 @@ impl MediaService {
         let ms = |v: f64| SimDuration::from_secs_f64(v * DEMAND_SCALE / 1e3);
 
         // (name, weight%, chain)
-        let catalog: Vec<(&str, f64, Vec<(&str, SimDuration)>)> = vec![
+        type CatalogEntry<'a> = (&'a str, f64, Vec<(&'a str, SimDuration)>);
+        let catalog: Vec<CatalogEntry> = vec![
             (
                 // Review group: compose hub over text/rating pipelines into
                 // review storage.

@@ -206,12 +206,33 @@ fn bench_ablations(c: &mut Criterion) {
     g.finish();
 }
 
+/// The parallel sweep executor vs the serial loop, on four independent
+/// reduced-scale simulation cells (the `lab --jobs` fast path).
+fn bench_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sweep");
+    g.sample_size(10);
+    let cells: Vec<u64> = vec![10, 11, 12, 13];
+    let cell = |seed: u64| {
+        let (_app, mut sim) = small_sim(seed);
+        sim.run_until(SimTime::from_secs(8));
+        sim.metrics().request_log().len()
+    };
+    g.bench_function("four_cells_serial", |b| {
+        b.iter(|| lab::sweep::map_cells(1, &cells, |_, s| cell(*s)))
+    });
+    g.bench_function("four_cells_jobs4", |b| {
+        b.iter(|| lab::sweep::map_cells(4, &cells, |_, s| cell(*s)))
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_attack_timelines,
     bench_table1,
     bench_profiling,
     bench_fig15,
-    bench_ablations
+    bench_ablations,
+    bench_sweep
 );
 criterion_main!(benches);

@@ -5,26 +5,78 @@ use callgraph::{RequestTypeId, ServiceSpec, TopologyBuilder};
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use microsim::agents::FixedRate;
 use microsim::{SimConfig, Simulation};
-use simnet::{EventQueue, RngStream, SampleSet, SimDuration, SimTime, Welford};
+use simnet::{EventQueue, HeapEventQueue, RngStream, SampleSet, SimDuration, SimTime, Welford};
 use workload::{BrowsingModel, ClosedLoopUsers};
 
+/// Bulk pattern: push 10k timestamped events, then drain.
+macro_rules! push_pop_10k {
+    ($queue:expr) => {{
+        let mut q = $queue;
+        for i in 0..10_000u64 {
+            q.push(SimTime::from_micros(i * 37 % 100_000), i);
+        }
+        let mut sum = 0u64;
+        while let Some((_, v)) = q.pop() {
+            sum = sum.wrapping_add(v);
+        }
+        sum
+    }};
+}
+
+/// Hold-model pattern (the kernel's steady state): keep a paper-cell-scale
+/// pending population, pop the earliest and immediately schedule a
+/// successor at an offset drawn from the kernel's event mixture, then
+/// drain. This is the headline wheel-vs-heap comparison.
+macro_rules! hold_model {
+    ($queue:expr) => {{
+        let mut q = $queue;
+        let mut x: u64 = 0x9E37_79B9_7F4A_7C15;
+        for i in 0..bench::HOLD_PENDING {
+            let r = bench::xorshift64(&mut x);
+            q.push(SimTime::from_micros(bench::kernel_offset_micros(r)), i);
+        }
+        let mut sum = 0u64;
+        for i in 0..50_000u64 {
+            let (t, v) = q.pop().expect("pending population never drains");
+            sum = sum.wrapping_add(v);
+            let r = bench::xorshift64(&mut x);
+            q.push(
+                t + SimDuration::from_micros(1 + bench::kernel_offset_micros(r)),
+                i,
+            );
+        }
+        while let Some((_, v)) = q.pop() {
+            sum = sum.wrapping_add(v);
+        }
+        sum
+    }};
+}
+
 fn event_queue(c: &mut Criterion) {
-    c.bench_function("kernel/event_queue_push_pop_10k", |b| {
+    // Timing wheel (the kernel's queue) vs the reference binary heap, on
+    // the bulk and steady-state (hold model) access patterns.
+    let mut g = c.benchmark_group("queue");
+    g.bench_function("wheel_push_pop_10k", |b| {
         b.iter_batched(
             || EventQueue::<u64>::with_capacity(10_240),
-            |mut q| {
-                for i in 0..10_000u64 {
-                    q.push(SimTime::from_micros(i * 37 % 100_000), i);
-                }
-                let mut sum = 0u64;
-                while let Some((_, v)) = q.pop() {
-                    sum = sum.wrapping_add(v);
-                }
-                sum
-            },
+            |q| push_pop_10k!(q),
             BatchSize::SmallInput,
         )
     });
+    g.bench_function("heap_push_pop_10k", |b| {
+        b.iter_batched(
+            || HeapEventQueue::<u64>::with_capacity(10_240),
+            |q| push_pop_10k!(q),
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("wheel_hold_model", |b| {
+        b.iter(|| hold_model!(EventQueue::<u64>::with_capacity(1_024)))
+    });
+    g.bench_function("heap_hold_model", |b| {
+        b.iter(|| hold_model!(HeapEventQueue::<u64>::with_capacity(1_024)))
+    });
+    g.finish();
 }
 
 fn rng_streams(c: &mut Criterion) {

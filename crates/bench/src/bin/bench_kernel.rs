@@ -1,0 +1,189 @@
+//! Machine-readable kernel benchmark: measures the fast-path event queue
+//! against the reference binary heap, kernel steady-state throughput, and
+//! the parallel sweep speedup, then writes `BENCH_kernel.json`.
+//!
+//! ```text
+//! cargo run --release -p bench --bin bench_kernel [-- --out <path> --quick]
+//! ```
+//!
+//! `--quick` skips the Table I slice (the slowest section). All timing
+//! uses `std::time::Instant`; output goes to the JSON file and stdout.
+
+use bench::{kernel_offset_micros, xorshift64, HOLD_PENDING};
+use callgraph::{RequestTypeId, ServiceSpec, TopologyBuilder};
+use microsim::agents::FixedRate;
+use microsim::{SimConfig, Simulation};
+use simnet::{EventQueue, HeapEventQueue, SimDuration, SimTime};
+use std::time::Instant;
+
+/// Hold-model program (the kernel's steady-state access pattern): keep a
+/// paper-cell-scale pending population, pop the earliest and reschedule a
+/// successor at an offset drawn from the kernel's event mixture, then
+/// drain. Mirrors the `queue/*_hold_model` Criterion benches.
+const HOLD_OPS: u64 = 50_000;
+
+macro_rules! hold_program {
+    ($queue:expr) => {{
+        let mut q = $queue;
+        let mut x: u64 = 0x9E37_79B9_7F4A_7C15;
+        for i in 0..HOLD_PENDING {
+            let r = xorshift64(&mut x);
+            q.push(SimTime::from_micros(kernel_offset_micros(r)), i);
+        }
+        let mut sum = 0u64;
+        for i in 0..HOLD_OPS {
+            let (t, v) = q.pop().expect("pending population never drains");
+            sum = sum.wrapping_add(v);
+            let r = xorshift64(&mut x);
+            q.push(t + SimDuration::from_micros(1 + kernel_offset_micros(r)), i);
+        }
+        while let Some((_, v)) = q.pop() {
+            sum = sum.wrapping_add(v);
+        }
+        sum
+    }};
+}
+
+/// Runs `f` repeatedly for at least `budget_ms` per round and returns the
+/// best round's mean ns per call (best-of-3 damps scheduler noise on
+/// shared machines).
+fn time_ns<F: FnMut() -> u64>(mut f: F, budget_ms: u64) -> f64 {
+    std::hint::black_box(f()); // warm up
+    let budget = std::time::Duration::from_millis(budget_ms);
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let started = Instant::now();
+        let mut iters = 0u64;
+        while started.elapsed() < budget {
+            std::hint::black_box(f());
+            iters += 1;
+        }
+        best = best.min(started.elapsed().as_nanos() as f64 / iters as f64);
+    }
+    best
+}
+
+fn chain_topology() -> callgraph::Topology {
+    let mut b = TopologyBuilder::new();
+    let gw = b.add_service(ServiceSpec::new("gw").threads(256).cores(4).demand_cv(0.1));
+    let api = b.add_service(ServiceSpec::new("api").threads(64).cores(2).demand_cv(0.1));
+    let db = b.add_service(ServiceSpec::new("db").threads(32).cores(2).demand_cv(0.1));
+    b.add_request_type(
+        "r",
+        vec![
+            (gw, SimDuration::from_micros(300)),
+            (api, SimDuration::from_millis(2)),
+            (db, SimDuration::from_millis(4)),
+        ],
+    );
+    b.build()
+}
+
+/// One simulated second of 500 req/s through a 3-stage chain; returns the
+/// number of completed requests.
+fn kernel_steady_state() -> u64 {
+    let mut sim = Simulation::new(chain_topology(), SimConfig::default().access_log(false));
+    sim.add_agent(Box::new(FixedRate::new(
+        RequestTypeId::new(0),
+        SimDuration::from_micros(2_000),
+        500,
+    )));
+    sim.run_until(SimTime::from_secs(1));
+    sim.metrics().request_log().len() as u64
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_kernel.json".to_string());
+
+    eprintln!("== event queue: timing wheel vs binary heap (hold model) ==");
+    let wheel_ns = time_ns(
+        || hold_program!(EventQueue::<u64>::with_capacity(1_024)),
+        500,
+    );
+    let heap_ns = time_ns(
+        || hold_program!(HeapEventQueue::<u64>::with_capacity(1_024)),
+        500,
+    );
+    let ops = (HOLD_PENDING + HOLD_OPS) as f64;
+    let queue_speedup = heap_ns / wheel_ns;
+    eprintln!(
+        "   wheel {:.1} ns/op, heap {:.1} ns/op, speedup {queue_speedup:.2}x",
+        wheel_ns / ops,
+        heap_ns / ops
+    );
+
+    eprintln!("== kernel steady state (1 sim-second, 500 req/s, 3-stage chain) ==");
+    let mut requests = 0u64;
+    let kernel_ns = time_ns(
+        || {
+            requests = kernel_steady_state();
+            requests
+        },
+        2_000,
+    );
+    let req_per_sec = requests as f64 / (kernel_ns / 1e9);
+    let sim_speed = 1.0 / (kernel_ns / 1e9);
+    eprintln!("   {req_per_sec:.0} requests/s simulated ({sim_speed:.0}x real time)");
+
+    let table1 = if quick {
+        eprintln!("== skipping Table I slice (--quick) ==");
+        None
+    } else {
+        eprintln!("== Table I two-cell slice: serial vs --jobs 2 ==");
+        let settings: Vec<lab::experiments::table1::Setting> = lab::experiments::table1::settings()
+            .into_iter()
+            .take(2)
+            .collect();
+        let t0 = Instant::now();
+        let serial = lab::experiments::table1::report_for(&settings, lab::Fidelity::Fast, 1);
+        let serial_secs = t0.elapsed().as_secs_f64();
+        let t1 = Instant::now();
+        let parallel = lab::experiments::table1::report_for(&settings, lab::Fidelity::Fast, 2);
+        let parallel_secs = t1.elapsed().as_secs_f64();
+        assert_eq!(
+            serial.to_markdown(),
+            parallel.to_markdown(),
+            "parallel sweep must be byte-identical to serial"
+        );
+        eprintln!(
+            "   serial {serial_secs:.1}s, jobs=2 {parallel_secs:.1}s, speedup {:.2}x (byte-identical; \
+             needs >= 2 CPUs to show a wall-clock win)",
+            serial_secs / parallel_secs
+        );
+        Some((serial_secs, parallel_secs))
+    };
+    let cpus = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"host_cpus\": {cpus},\n"));
+    json.push_str(&format!(
+        "  \"queue_hold_model\": {{\n    \"pending\": {HOLD_PENDING},\n    \"ops\": {HOLD_OPS},\n    \"wheel_ns_per_op\": {:.2},\n    \"heap_ns_per_op\": {:.2},\n    \"speedup\": {:.3}\n  }},\n",
+        wheel_ns / ops,
+        heap_ns / ops,
+        queue_speedup
+    ));
+    json.push_str(&format!(
+        "  \"kernel_steady_state\": {{\n    \"requests_per_wall_second\": {:.0},\n    \"sim_seconds_per_wall_second\": {:.1}\n  }}",
+        req_per_sec, sim_speed
+    ));
+    if let Some((serial_secs, parallel_secs)) = table1 {
+        json.push_str(&format!(
+            ",\n  \"table1_two_cell_slice\": {{\n    \"serial_secs\": {:.2},\n    \"jobs2_secs\": {:.2},\n    \"speedup\": {:.3}\n  }}",
+            serial_secs,
+            parallel_secs,
+            serial_secs / parallel_secs
+        ));
+    }
+    json.push_str("\n}\n");
+
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
+    print!("{json}");
+    eprintln!("wrote {out_path}");
+}

@@ -14,3 +14,31 @@
 /// for Criterion's repeated sampling, large enough to exercise every
 /// subsystem.
 pub const BENCH_USERS: usize = 1_000;
+
+/// Pending-event population for the event-queue hold-model benches: the
+/// scale of a paper cell (7-12K closed-loop user timers plus in-flight
+/// request events).
+pub const HOLD_PENDING: u64 = 32_768;
+
+/// Scheduling-offset mixture (µs) mirroring the kernel's event
+/// population: network hops, service demands, metric sampling and
+/// think-time timers. `r` is a uniform random word.
+#[inline]
+pub fn kernel_offset_micros(r: u64) -> u64 {
+    match r % 100 {
+        0..=44 => 250,                // network hop
+        45..=84 => 1_000 + r % 9_000, // service demand, 1-10 ms
+        85..=94 => 100_000,           // metrics sampling window
+        _ => 500_000 + r % 4_500_000, // think time, 0.5-5 s
+    }
+}
+
+/// A deterministic xorshift64 step, for seeding bench programs without an
+/// RNG dependency.
+#[inline]
+pub fn xorshift64(x: &mut u64) -> u64 {
+    *x ^= *x << 13;
+    *x ^= *x >> 7;
+    *x ^= *x << 17;
+    *x
+}

@@ -58,8 +58,7 @@ mod pairs_as_seq {
         map: &BTreeMap<Key, PairwiseDependency>,
         ser: S,
     ) -> Result<S::Ok, S::Error> {
-        let entries: Vec<(Key, PairwiseDependency)> =
-            map.iter().map(|(k, v)| (*k, *v)).collect();
+        let entries: Vec<(Key, PairwiseDependency)> = map.iter().map(|(k, v)| (*k, *v)).collect();
         entries.serialize(ser)
     }
 

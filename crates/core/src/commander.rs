@@ -597,15 +597,24 @@ mod tests {
         let paths = vec![
             ExecutionPath::from_chain(
                 RequestTypeId::new(0),
-                vec![(callgraph::ServiceId::new(0), ms(1)), (callgraph::ServiceId::new(1), ms(9))],
+                vec![
+                    (callgraph::ServiceId::new(0), ms(1)),
+                    (callgraph::ServiceId::new(1), ms(9)),
+                ],
             ),
             ExecutionPath::from_chain(
                 RequestTypeId::new(1),
-                vec![(callgraph::ServiceId::new(2), ms(1)), (callgraph::ServiceId::new(1), ms(9))],
+                vec![
+                    (callgraph::ServiceId::new(2), ms(1)),
+                    (callgraph::ServiceId::new(1), ms(9)),
+                ],
             ),
             ExecutionPath::from_chain(
                 RequestTypeId::new(2),
-                vec![(callgraph::ServiceId::new(0), ms(1)), (callgraph::ServiceId::new(3), ms(9))],
+                vec![
+                    (callgraph::ServiceId::new(0), ms(1)),
+                    (callgraph::ServiceId::new(3), ms(9)),
+                ],
             ),
         ];
         let deps = DependencyGroups::from_ground_truth(&paths);

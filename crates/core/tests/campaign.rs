@@ -130,8 +130,7 @@ fn full_campaign_meets_damage_and_stealth_goals() {
 
 #[test]
 fn attack_volume_is_low_relative_to_brute_force() {
-    let (sim, campaign) = run_campaign();
-    let metrics = sim.metrics();
+    let (_sim, campaign) = run_campaign();
     // Attack request rate during the window vs the legitimate rate: Grunt
     // must stay well below the baseline traffic it disturbs (low-volume
     // property; brute-force needs a multiple of system capacity).
@@ -174,10 +173,7 @@ fn profiler_is_deterministic_given_seed() {
             .outcome()
             .expect("done")
             .clone();
-        (
-            outcome.v_sat.clone(),
-            outcome.groups.groups().iter().cloned().collect::<Vec<_>>(),
-        )
+        (outcome.v_sat.clone(), outcome.groups.groups().to_vec())
     };
     assert_eq!(run(3), run(3), "same seed, same profile");
 }

@@ -23,7 +23,7 @@ proptest! {
         let mut now = SimTime::ZERO;
         let mut last_use: std::collections::HashMap<u32, SimTime> = Default::default();
         for (advance, n) in steps {
-            now = now + SimDuration::from_millis(advance);
+            now += SimDuration::from_millis(advance);
             let origins = farm.allocate(n, now);
             prop_assert_eq!(origins.len(), n);
             let distinct: std::collections::HashSet<u32> =

@@ -2,7 +2,6 @@
 
 use callgraph::{RequestTypeId, ServiceSpec, TopologyBuilder};
 use defense::{RateShield, ShieldVerdict};
-use microsim::agents::FixedRate;
 use microsim::{Origin, SimConfig, Simulation};
 use proptest::prelude::*;
 use simnet::{SimDuration, SimTime};

@@ -1,17 +1,21 @@
 //! Experiment runner CLI.
 //!
 //! ```text
-//! lab <experiment|all> [--fast] [--out <dir>]
+//! lab <experiment|all> [--fast] [--out <dir>] [--jobs <N|auto>]
 //! ```
+//!
+//! `--jobs` runs independent sweep cells (table experiments) on up to `N`
+//! OS threads; results are emitted in cell order, so the written reports
+//! are byte-identical to a serial run. Defaults to `LAB_JOBS` or 1.
 //!
 //! Known experiments: see `lab::experiments::ALL`.
 
-use lab::{experiments, Fidelity};
+use lab::{experiments, sweep, Fidelity};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() || args[0] == "--help" || args[0] == "-h" {
-        eprintln!("usage: lab <experiment|all> [--fast] [--out <dir>]");
+        eprintln!("usage: lab <experiment|all> [--fast] [--out <dir>] [--jobs <N|auto>]");
         eprintln!("experiments: {}", experiments::ALL.join(", "));
         std::process::exit(if args.is_empty() { 2 } else { 0 });
     }
@@ -27,6 +31,22 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .cloned()
         .unwrap_or_else(|| "results".to_string());
+    let jobs = match args
+        .iter()
+        .position(|a| a == "--jobs")
+        .and_then(|i| args.get(i + 1))
+    {
+        None => sweep::default_jobs(),
+        Some(v) if v == "auto" => sweep::auto_jobs(),
+        Some(v) => v
+            .parse::<usize>()
+            .ok()
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                eprintln!("--jobs expects a positive integer or `auto`, got {v:?}");
+                std::process::exit(2);
+            }),
+    };
 
     let names: Vec<&str> = if which == "all" {
         experiments::ALL.to_vec()
@@ -46,8 +66,8 @@ fn main() {
 
     for name in names {
         let started = std::time::Instant::now();
-        eprintln!("== running {name} ({fidelity:?}) ==");
-        let report = experiments::run(name, fidelity);
+        eprintln!("== running {name} ({fidelity:?}, jobs={jobs}) ==");
+        let report = experiments::run_jobs(name, fidelity, jobs);
         let path = report
             .write_to_dir(&out_dir)
             .unwrap_or_else(|e| panic!("writing report for {name}: {e}"));

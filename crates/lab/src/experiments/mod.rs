@@ -31,22 +31,35 @@ pub const ALL: &[&str] = &[
     "mitigation",
 ];
 
-/// Runs one experiment by name.
+/// Runs one experiment by name, serially.
 ///
 /// # Panics
 ///
 /// Panics on an unknown name (the CLI validates first).
 pub fn run(name: &str, fidelity: Fidelity) -> Report {
+    run_jobs(name, fidelity, 1)
+}
+
+/// Runs one experiment by name with up to `jobs` sweep cells in parallel.
+///
+/// The table sweeps (independent cells) fan out over `jobs` threads; the
+/// timeline experiments are single runs and ignore `jobs`. Output is
+/// byte-identical for every `jobs` value.
+///
+/// # Panics
+///
+/// Panics on an unknown name (the CLI validates first).
+pub fn run_jobs(name: &str, fidelity: Fidelity, jobs: usize) -> Report {
     match name {
         "fig1" => fig1::run(fidelity),
-        "table1" => table1::run(fidelity),
+        "table1" => table1::run_jobs(fidelity, jobs),
         "fig11" => fig11::run(fidelity),
         "fig12" => fig12::run(fidelity),
         "fig13" => fig13::run(fidelity),
         "fig14" => fig14::run(fidelity),
         "fig15" => fig15::run(fidelity),
         "fig16" => fig16::run(fidelity),
-        "table4" => table4::run(fidelity),
+        "table4" => table4::run_jobs(fidelity, jobs),
         "ablations" => ablations::run(fidelity),
         "mitigation" => mitigation::run(fidelity),
         "model_check" => model_check::run(fidelity),

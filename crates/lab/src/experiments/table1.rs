@@ -9,11 +9,22 @@ use grunt::CampaignConfig;
 use microsim::PlatformProfile;
 
 use crate::report::fmt;
-use crate::{AttackRun, Fidelity, Report, Scenario};
+use crate::{sweep, AttackRun, Fidelity, Report, Scenario};
+
+/// One sweep cell: (label, platform, users, provisioned-for).
+pub type Setting = (String, PlatformProfile, usize, usize);
+
+/// The two table rows a cell produces.
+pub struct CellRows {
+    /// Table I row (user-perceived damage).
+    pub row1: Vec<String>,
+    /// Table III row (attacker-side parameters).
+    pub row3: Vec<String>,
+}
 
 /// The six paper settings: (label, platform, users, provisioned-for).
 /// Each cloud hosts one deployment provisioned for its heavier workload.
-pub fn settings() -> Vec<(String, PlatformProfile, usize, usize)> {
+pub fn settings() -> Vec<Setting> {
     vec![
         ("EC2-7K".into(), PlatformProfile::ec2(), 7_000, 12_000),
         ("EC2-12K".into(), PlatformProfile::ec2(), 12_000, 12_000),
@@ -34,8 +45,66 @@ pub fn settings() -> Vec<(String, PlatformProfile, usize, usize)> {
     ]
 }
 
-/// Runs the experiment.
+/// Runs one cell: full profile + attack campaign on a fresh, per-cell
+/// seeded simulation. Cells are independent, so the sweep executor can run
+/// them on separate threads without changing any cell's result.
+pub fn run_cell(
+    setting: &Setting,
+    baseline: simnet::SimDuration,
+    attack: simnet::SimDuration,
+) -> CellRows {
+    let (label, platform, users, provision) = setting;
+    let scenario = Scenario::social_network(
+        label,
+        platform.clone(),
+        *users,
+        *provision,
+        0x7AB1 ^ *users as u64,
+    );
+    let run = AttackRun::execute(&scenario, CampaignConfig::default(), baseline, attack);
+    let base = run.baseline_latency();
+    let att = run.attack_latency();
+    let net_b = run.network_mbps(run.baseline_window.0, run.baseline_window.1);
+    let net_a = run.network_mbps(run.attack_window.0, run.attack_window.1);
+    let cpu_b = run.bottleneck_cpu(run.baseline_window.0, run.baseline_window.1);
+    let cpu_a = run.bottleneck_cpu(run.attack_window.0, run.attack_window.1);
+    CellRows {
+        row1: vec![
+            label.clone(),
+            fmt(base.avg_ms, 0),
+            fmt(att.avg_ms, 0),
+            fmt(base.p95_ms, 0),
+            fmt(att.p95_ms, 0),
+            fmt(net_b, 1),
+            fmt(net_a, 1),
+            fmt(cpu_b * 100.0, 0),
+            fmt(cpu_a * 100.0, 0),
+        ],
+        row3: vec![
+            label.clone(),
+            run.campaign.bots_used.to_string(),
+            fmt(run.mean_pmb_ms(), 0),
+            fmt(base.avg_ms, 0),
+            fmt(att.avg_ms, 0),
+            fmt(att.avg_ms / base.avg_ms.max(1.0), 1),
+        ],
+    }
+}
+
+/// Runs the experiment serially.
 pub fn run(fidelity: Fidelity) -> Report {
+    run_jobs(fidelity, 1)
+}
+
+/// Runs the experiment with up to `jobs` cells in parallel.
+pub fn run_jobs(fidelity: Fidelity, jobs: usize) -> Report {
+    report_for(&settings(), fidelity, jobs)
+}
+
+/// Builds the Tables I & III report for an arbitrary settings slice —
+/// the determinism test runs a two-cell slice both serially and in
+/// parallel and compares the rendered reports byte for byte.
+pub fn report_for(settings: &[Setting], fidelity: Fidelity, jobs: usize) -> Report {
     let baseline = fidelity.secs(120, 40);
     let attack = fidelity.secs(1_200, 180);
 
@@ -50,37 +119,12 @@ pub fn run(fidelity: Fidelity) -> Report {
         attack
     ));
 
-    let mut rows1 = Vec::new();
-    let mut rows3 = Vec::new();
-    for (label, platform, users, provision) in settings() {
-        let scenario =
-            Scenario::social_network(&label, platform, users, provision, 0x7AB1 ^ users as u64);
-        let run = AttackRun::execute(&scenario, CampaignConfig::default(), baseline, attack);
-        let base = run.baseline_latency();
-        let att = run.attack_latency();
-        let net_b = run.network_mbps(run.baseline_window.0, run.baseline_window.1);
-        let net_a = run.network_mbps(run.attack_window.0, run.attack_window.1);
-        let cpu_b = run.bottleneck_cpu(run.baseline_window.0, run.baseline_window.1);
-        let cpu_a = run.bottleneck_cpu(run.attack_window.0, run.attack_window.1);
-        rows1.push(vec![
-            label.clone(),
-            fmt(base.avg_ms, 0),
-            fmt(att.avg_ms, 0),
-            fmt(base.p95_ms, 0),
-            fmt(att.p95_ms, 0),
-            fmt(net_b, 1),
-            fmt(net_a, 1),
-            fmt(cpu_b * 100.0, 0),
-            fmt(cpu_a * 100.0, 0),
-        ]);
-        rows3.push(vec![
-            label,
-            run.campaign.bots_used.to_string(),
-            fmt(run.mean_pmb_ms(), 0),
-            fmt(base.avg_ms, 0),
-            fmt(att.avg_ms, 0),
-            fmt(att.avg_ms / base.avg_ms.max(1.0), 1),
-        ]);
+    let cells = sweep::map_cells(jobs, settings, |_, s| run_cell(s, baseline, attack));
+    let mut rows1 = Vec::with_capacity(cells.len());
+    let mut rows3 = Vec::with_capacity(cells.len());
+    for cell in cells {
+        rows1.push(cell.row1);
+        rows3.push(cell.row3);
     }
 
     report.heading("Table I — long response time damage");

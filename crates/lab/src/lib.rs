@@ -30,6 +30,7 @@
 pub mod experiments;
 pub mod report;
 pub mod scenario;
+pub mod sweep;
 
 pub use report::Report;
 pub use scenario::{AttackRun, Scenario};

@@ -18,10 +18,12 @@ pub struct Report {
     name: String,
     title: String,
     sections: Vec<String>,
-    /// Structured copies of every series block, for CSV export:
-    /// `(slug, headers, rows)`.
-    series_data: Vec<(String, Vec<String>, Vec<Vec<String>>)>,
+    /// Structured copies of every series block, for CSV export.
+    series_data: Vec<SeriesBlock>,
 }
+
+/// A structured series block: `(slug, headers, rows)`.
+pub type SeriesBlock = (String, Vec<String>, Vec<Vec<String>>);
 
 impl Report {
     /// Creates an empty report; `name` becomes the output file stem.
@@ -77,17 +79,30 @@ impl Report {
         let _ = writeln!(s, "```");
         self.sections.push(s);
         let slug = format!("{}_s{}", self.name, self.series_data.len() + 1);
-        self.series_data.push((
-            slug,
-            headers.iter().map(|h| h.to_string()).collect(),
-            rows,
-        ));
+        self.series_data
+            .push((slug, headers.iter().map(|h| h.to_string()).collect(), rows));
     }
 
     /// The structured series blocks collected so far: `(slug, headers,
     /// rows)`.
-    pub fn series_data(&self) -> &[(String, Vec<String>, Vec<Vec<String>>)] {
+    pub fn series_data(&self) -> &[SeriesBlock] {
         &self.series_data
+    }
+
+    /// Renders every series block exactly as [`Report::write_to_dir`]
+    /// exports it: `(file stem, CSV content)` pairs.
+    pub fn csv_exports(&self) -> Vec<(String, String)> {
+        self.series_data
+            .iter()
+            .map(|(slug, headers, rows)| {
+                let mut out = String::new();
+                let _ = writeln!(out, "{}", headers.join(","));
+                for row in rows {
+                    let _ = writeln!(out, "{}", row.join(","));
+                }
+                (slug.clone(), out)
+            })
+            .collect()
     }
 
     /// Renders the whole report as markdown.
@@ -111,16 +126,12 @@ impl Report {
         std::fs::create_dir_all(dir)?;
         let path = dir.join(format!("{}.md", self.name));
         std::fs::write(&path, self.to_markdown())?;
-        if !self.series_data.is_empty() {
+        let exports = self.csv_exports();
+        if !exports.is_empty() {
             let csv_dir = dir.join("csv");
             std::fs::create_dir_all(&csv_dir)?;
-            for (slug, headers, rows) in &self.series_data {
-                let mut out = String::new();
-                let _ = writeln!(out, "{}", headers.join(","));
-                for row in rows {
-                    let _ = writeln!(out, "{}", row.join(","));
-                }
-                std::fs::write(csv_dir.join(format!("{slug}.csv")), out)?;
+            for (slug, content) in exports {
+                std::fs::write(csv_dir.join(format!("{slug}.csv")), content)?;
             }
         }
         Ok(path)

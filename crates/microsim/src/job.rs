@@ -5,6 +5,12 @@ use serde::{Deserialize, Serialize};
 use simnet::SimTime;
 
 use crate::agent::AgentId;
+use crate::inline_vec::InlineVec;
+
+/// Inline frame capacity per job. Execution paths in the studied
+/// applications are at most a handful of steps deep, so frame storage
+/// normally never allocates; deeper paths spill to the heap transparently.
+pub(crate) const INLINE_FRAMES: usize = 8;
 
 /// Identity attached to an externally submitted request.
 ///
@@ -81,7 +87,7 @@ pub(crate) enum Phase {
 }
 
 /// One activation frame: the job's visit to one service along its path.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 pub(crate) struct Frame {
     /// Index into the service's replica vector where this frame was (or
     /// will be) admitted.
@@ -102,10 +108,12 @@ pub(crate) struct Job {
     pub submitted_at: SimTime,
     /// Activation frames; `frames[i]` corresponds to path step `i`.
     /// Frames are pushed as the request descends and popped as replies
-    /// propagate back.
-    pub frames: Vec<Frame>,
+    /// propagate back. Stored inline (no allocation) up to
+    /// [`INLINE_FRAMES`] steps.
+    pub frames: InlineVec<Frame, INLINE_FRAMES>,
     /// Span end times per step for trace recording (admin-side only);
-    /// `None` when tracing is disabled for this job.
+    /// `None` when tracing is disabled for this job. The backing vector is
+    /// pooled by the kernel and reused across traced jobs.
     pub spans: Option<Vec<(SimTime, SimTime)>>,
 }
 

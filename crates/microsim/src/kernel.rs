@@ -70,6 +70,10 @@ pub struct Kernel {
     /// Responses produced during event handling, drained by the run loop
     /// and dispatched to agents.
     pub(crate) outbox: Vec<(AgentId, Response)>,
+    /// Recycled span buffers for traced jobs.
+    span_pool: Vec<Vec<(SimTime, SimTime)>>,
+    /// Reused per-sample window buffer.
+    win_scratch: Vec<ServiceWindow>,
     // Per-window counters (reset at each sample).
     win_arrivals: Vec<u32>,
     win_completions: Vec<u32>,
@@ -109,6 +113,8 @@ impl Kernel {
             free_jobs: Vec::new(),
             next_token: 0,
             outbox: Vec::new(),
+            span_pool: Vec::new(),
+            win_scratch: Vec::with_capacity(n),
             win_arrivals: vec![0; n],
             win_completions: vec![0; n],
             win_net: NetworkWindow::default(),
@@ -178,14 +184,20 @@ impl Kernel {
 
         let trace = self.cfg.trace_sampling > 0.0 && self.trace_rng.chance(self.cfg.trace_sampling);
         let steps = self.paths[request_type.index()].len();
+        let spans = trace.then(|| {
+            let mut buf = self.span_pool.pop().unwrap_or_default();
+            buf.clear();
+            buf.resize(steps, (SimTime::ZERO, SimTime::ZERO));
+            buf
+        });
         let job = Job {
             agent,
             token,
             request_type,
             origin,
             submitted_at: self.now,
-            frames: Vec::with_capacity(steps),
-            spans: trace.then(|| vec![(SimTime::ZERO, SimTime::ZERO); steps]),
+            frames: crate::inline_vec::InlineVec::new(),
+            spans,
         };
         let id = match self.free_jobs.pop() {
             Some(i) => {
@@ -413,7 +425,7 @@ impl Kernel {
             submitted_at: j.submitted_at,
             completed_at: self.now,
         });
-        if let Some(spans) = &j.spans {
+        if let Some(spans) = j.spans {
             let mut hist = ExecutionHistory::new();
             let path = &self.paths[j.request_type.index()];
             let mut parent = None;
@@ -421,6 +433,7 @@ impl Kernel {
                 parent = Some(hist.record(parent, path.steps()[i].service, start, end));
             }
             self.metrics.record_trace(j.request_type, hist);
+            self.span_pool.push(spans);
         }
         self.outbox.push((
             j.agent,
@@ -435,7 +448,8 @@ impl Kernel {
 
     fn handle_sample(&mut self) {
         let now = self.now;
-        let mut windows = Vec::with_capacity(self.services.len());
+        let mut windows = std::mem::take(&mut self.win_scratch);
+        windows.clear();
         for (i, svc) in self.services.iter_mut().enumerate() {
             let mut busy = SimDuration::ZERO;
             for r in &mut svc.replicas {
@@ -456,7 +470,8 @@ impl Kernel {
             self.win_completions[i] = 0;
         }
         let net = std::mem::take(&mut self.win_net);
-        self.metrics.push_window(windows, net);
+        self.metrics.push_window(&windows, net);
+        self.win_scratch = windows;
         self.windows_seen += 1;
 
         // Auto-scaler runs on 1 s boundaries over the accumulated busy time.

@@ -59,6 +59,7 @@ pub mod agent;
 pub mod agents;
 pub mod autoscale;
 pub mod config;
+mod inline_vec;
 pub mod job;
 pub mod kernel;
 pub mod metrics;

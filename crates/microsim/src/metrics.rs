@@ -103,8 +103,10 @@ impl NetworkWindow {
 pub struct Metrics {
     window: SimDuration,
     num_services: usize,
-    /// `windows[w][s]` = sample of service `s` in window `w`.
-    service_windows: Vec<Vec<ServiceWindow>>,
+    /// Flat row-major window samples: entry `w * num_services + s` is the
+    /// sample of service `s` in window `w`. One allocation for the whole
+    /// run instead of one per window.
+    service_windows: Vec<ServiceWindow>,
     network_windows: Vec<NetworkWindow>,
     request_log: Vec<RequestRecord>,
     access_log: Vec<AccessLogEntry>,
@@ -136,10 +138,11 @@ impl Metrics {
         self.num_services
     }
 
-    /// All sampled windows; `windows()[w][s]` addresses window `w`,
-    /// service `s`.
-    pub fn windows(&self) -> &[Vec<ServiceWindow>] {
-        &self.service_windows
+    /// All sampled windows, one row (slice of `num_services` samples) per
+    /// window. The iterator is exact-size, so `windows().len()` is the
+    /// window count.
+    pub fn windows(&self) -> std::slice::ChunksExact<'_, ServiceWindow> {
+        self.service_windows.chunks_exact(self.num_services.max(1))
     }
 
     /// The per-window gateway traffic series (same indexing as
@@ -152,7 +155,8 @@ impl Metrics {
     pub fn service_series(&self, service: ServiceId) -> impl Iterator<Item = &ServiceWindow> + '_ {
         self.service_windows
             .iter()
-            .map(move |w| &w[service.index()])
+            .skip(service.index())
+            .step_by(self.num_services.max(1))
     }
 
     /// Every completed request.
@@ -179,8 +183,7 @@ impl Metrics {
     pub fn mean_utilization(&self, service: ServiceId, from: SimTime, to: SimTime) -> f64 {
         let mut total = 0.0;
         let mut n = 0u32;
-        for w in &self.service_windows {
-            let s = &w[service.index()];
+        for s in self.service_series(service) {
             if s.start >= from && s.start < to {
                 total += s.utilization(self.window);
                 n += 1;
@@ -195,9 +198,9 @@ impl Metrics {
 
     // Internal recording API (used by the kernel).
 
-    pub(crate) fn push_window(&mut self, services: Vec<ServiceWindow>, network: NetworkWindow) {
+    pub(crate) fn push_window(&mut self, services: &[ServiceWindow], network: NetworkWindow) {
         debug_assert_eq!(services.len(), self.num_services);
-        self.service_windows.push(services);
+        self.service_windows.extend_from_slice(services);
         self.network_windows.push(network);
     }
 
@@ -268,7 +271,7 @@ mod tests {
         let mut m = Metrics::new(SimDuration::from_millis(100), 1);
         for i in 0..10u64 {
             m.push_window(
-                vec![ServiceWindow {
+                &[ServiceWindow {
                     start: SimTime::from_millis(i * 100),
                     busy: SimDuration::from_millis(if i < 5 { 100 } else { 0 }),
                     active_cores: 1,

@@ -18,6 +18,9 @@ pub struct Simulation {
     kernel: Kernel,
     agents: Vec<Option<Box<dyn Agent>>>,
     started: Vec<bool>,
+    /// Reused buffer for outbox batches (swapped with the kernel outbox so
+    /// neither side reallocates in the steady state).
+    outbox_scratch: Vec<(AgentId, crate::job::Response)>,
 }
 
 impl Simulation {
@@ -27,6 +30,7 @@ impl Simulation {
             kernel: Kernel::new(topology, cfg),
             agents: Vec::new(),
             started: Vec::new(),
+            outbox_scratch: Vec::new(),
         }
     }
 
@@ -111,10 +115,12 @@ impl Simulation {
     /// same timestamp.
     fn drain_outbox(&mut self) {
         while !self.kernel.outbox.is_empty() {
-            let batch: Vec<_> = self.kernel.outbox.drain(..).collect();
-            for (agent, response) in batch {
+            let mut batch = std::mem::take(&mut self.outbox_scratch);
+            std::mem::swap(&mut batch, &mut self.kernel.outbox);
+            for (agent, response) in batch.drain(..) {
                 self.with_agent(agent.index(), |a, ctx| a.on_response(ctx, &response));
             }
+            self.outbox_scratch = batch;
         }
     }
 

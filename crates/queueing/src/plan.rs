@@ -11,8 +11,8 @@ use serde::{Deserialize, Serialize};
 
 use crate::burst::BurstPlan;
 use crate::model::{
-    cross_tier_queue, damage_latency, execution_queue, millibottleneck_length,
-    min_saturating_rate, solve_length_for_pmb,
+    cross_tier_queue, damage_latency, execution_queue, millibottleneck_length, min_saturating_rate,
+    solve_length_for_pmb,
 };
 use crate::params::PathParams;
 
@@ -108,8 +108,8 @@ pub fn plan_path(path: &PathParams, goals: AttackGoals) -> Result<PathPlan, Plan
     let burst = BurstPlan::new(rate, length);
     // The effective queue is whichever blocking mechanism applies: direct
     // execution blocking at the bottleneck, or the cross-tier cascade.
-    let queue = execution_queue(burst, bn.lambda, bn.capacity_attack)
-        .max(cross_tier_queue(burst, path));
+    let queue =
+        execution_queue(burst, bn.lambda, bn.capacity_attack).max(cross_tier_queue(burst, path));
     let damage_s = damage_latency(queue, bn.capacity_attack);
     let pmb_s = millibottleneck_length(burst, bn.capacity_attack, bn.lambda, bn.capacity_legit);
     Ok(PathPlan {

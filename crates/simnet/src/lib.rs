@@ -35,7 +35,7 @@ pub mod rng;
 pub mod stats;
 pub mod time;
 
-pub use event::EventQueue;
+pub use event::{EventQueue, HeapEventQueue};
 pub use rng::{derive_seed, RngStream};
 pub use stats::{Histogram, SampleSet, Welford};
 pub use time::{SimDuration, SimTime};

@@ -56,7 +56,7 @@ impl CoarseMonitor {
         let per = (interval.as_micros() / fine.as_micros()).max(1) as usize;
         let nsvc = metrics.num_services();
         let mut samples: Vec<Vec<CoarseSample>> = vec![Vec::new(); nsvc];
-        let windows = metrics.windows();
+        let windows: Vec<&[microsim::ServiceWindow]> = metrics.windows().collect();
         for chunk in windows.chunks(per) {
             if chunk.is_empty() {
                 continue;

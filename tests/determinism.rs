@@ -55,3 +55,39 @@ fn different_seed_changes_the_run() {
     let b = run_once(100);
     assert_ne!(a.0, b.0, "different seeds should produce different runs");
 }
+
+/// The parallel sweep executor reproduces the serial path byte for byte:
+/// a two-cell Table I slice rendered with `jobs = 1`, `2` and `4` must
+/// yield identical markdown and CSV artifacts, because every cell is a
+/// self-seeded single-threaded simulation and rows are collected in cell
+/// order.
+#[test]
+fn parallel_sweep_is_byte_identical_to_serial() {
+    use lab::experiments::table1;
+    use lab::Fidelity;
+
+    let settings: Vec<table1::Setting> = table1::settings().into_iter().take(2).collect();
+    assert_eq!(settings.len(), 2, "need a two-cell slice");
+
+    let serial = table1::report_for(&settings, Fidelity::Fast, 1);
+    let serial_md = serial.to_markdown();
+    let serial_csv = serial.csv_exports();
+    assert!(
+        serial_md.contains(&settings[0].0) && serial_md.contains(&settings[1].0),
+        "slice labels missing from the report"
+    );
+
+    for jobs in [2, 4] {
+        let parallel = table1::report_for(&settings, Fidelity::Fast, jobs);
+        assert_eq!(
+            parallel.to_markdown(),
+            serial_md,
+            "markdown differs at jobs={jobs}"
+        );
+        assert_eq!(
+            parallel.csv_exports(),
+            serial_csv,
+            "CSV differs at jobs={jobs}"
+        );
+    }
+}

@@ -55,9 +55,8 @@ fn metrics_round_trip_preserves_logs_and_windows() {
 #[test]
 fn dependency_groups_round_trip() {
     let topo = social_network(1_000).topology().clone();
-    let groups = DependencyGroups::from_ground_truth_filtered(&topo.paths(), |s| {
-        topo.service(s).blockable
-    });
+    let groups =
+        DependencyGroups::from_ground_truth_filtered(&topo.paths(), |s| topo.service(s).blockable);
     let json = serde_json::to_string(&groups).expect("serialize");
     let back: DependencyGroups = serde_json::from_str(&json).expect("deserialize");
     assert_eq!(back.groups(), groups.groups());

@@ -1,0 +1,269 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the subset of the criterion API this workspace's benches use —
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`] with
+//! `sample_size` / `measurement_time`, [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], [`black_box`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros — measured with plain
+//! `std::time::Instant`. No statistics beyond min/median/max, no HTML
+//! reports.
+//!
+//! Each bench calibrates with one untimed iteration, then spreads a time
+//! budget (default 300 ms, override with `CRITERION_MEASURE_MS`) over up to
+//! `sample_size` samples and reports nanoseconds per iteration. Passing
+//! `--test` (as `cargo test --benches` does) runs every routine exactly once
+//! without timing.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier: keeps the optimizer from deleting benched work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[derive(Debug, Clone, Copy)]
+struct BenchConfig {
+    sample_size: usize,
+    measurement: Duration,
+    test_mode: bool,
+}
+
+impl BenchConfig {
+    fn default_from_env() -> Self {
+        let ms = std::env::var("CRITERION_MEASURE_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(300);
+        BenchConfig {
+            sample_size: 20,
+            measurement: Duration::from_millis(ms),
+            test_mode: false,
+        }
+    }
+}
+
+/// The benchmark driver handed to `criterion_group!` target functions.
+pub struct Criterion {
+    cfg: BenchConfig,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            cfg: BenchConfig::default_from_env(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Applies CLI arguments (`--test` switches to run-once mode; everything
+    /// else, e.g. cargo's `--bench`, is accepted and ignored).
+    #[must_use]
+    pub fn configure_from_args(mut self) -> Self {
+        if std::env::args().any(|a| a == "--test") {
+            self.cfg.test_mode = true;
+        }
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_bench(name, self.cfg, &mut f);
+        self
+    }
+
+    /// Starts a named group whose benches can override sampling settings.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        let cfg = self.cfg;
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+            cfg,
+        }
+    }
+}
+
+/// A group of benches sharing a name prefix and sampling overrides.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    cfg: BenchConfig,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of samples for benches in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.cfg.sample_size = n.max(1);
+        self
+    }
+
+    /// Overrides the measurement time budget for benches in this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.cfg.measurement = d;
+        self
+    }
+
+    /// Runs one named benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_bench(&format!("{}/{}", self.name, name), self.cfg, &mut f);
+        self
+    }
+
+    /// Ends the group (accepted for API compatibility; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// How much setup output to batch per timing sample (hint only here).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Passed to each bench closure; call [`iter`](Bencher::iter) or
+/// [`iter_batched`](Bencher::iter_batched) exactly once.
+pub struct Bencher {
+    cfg: BenchConfig,
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        self.iter_batched(|| (), |()| routine(), BatchSize::PerIteration);
+    }
+
+    /// Times `routine` over inputs built by the untimed `setup`.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        if self.cfg.test_mode {
+            black_box(routine(setup()));
+            self.samples_ns.push(0.0);
+            return;
+        }
+
+        // Calibration: one timed iteration to estimate per-iteration cost.
+        let input = setup();
+        let t0 = Instant::now();
+        black_box(routine(input));
+        let per_iter_ns = (t0.elapsed().as_nanos() as u64).max(1);
+
+        let budget_ns = self.cfg.measurement.as_nanos() as u64;
+        let total_iters = (budget_ns / per_iter_ns).clamp(5, 50_000_000);
+        let samples = self.cfg.sample_size.min(total_iters as usize).max(1);
+        let iters_per_sample = (total_iters / samples as u64).max(1);
+
+        for _ in 0..samples {
+            let inputs: Vec<I> = (0..iters_per_sample).map(|_| setup()).collect();
+            let t0 = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            let ns = t0.elapsed().as_nanos() as f64 / iters_per_sample as f64;
+            self.samples_ns.push(ns);
+        }
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(name: &str, cfg: BenchConfig, f: &mut F) {
+    let mut bencher = Bencher {
+        cfg,
+        samples_ns: Vec::new(),
+    };
+    f(&mut bencher);
+    if cfg.test_mode {
+        println!("{name}: ok (test mode, ran once)");
+        return;
+    }
+    let mut ns = bencher.samples_ns;
+    if ns.is_empty() {
+        println!("{name}: no samples (bench closure never called iter)");
+        return;
+    }
+    ns.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let low = ns[0];
+    let mid = ns[ns.len() / 2];
+    let high = ns[ns.len() - 1];
+    println!(
+        "{name:<48} time: [{} {} {}]  ({} samples)",
+        fmt_ns(low),
+        fmt_ns(mid),
+        fmt_ns(high),
+        ns.len()
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Bundles bench target functions into one group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_records() {
+        std::env::set_var("CRITERION_MEASURE_MS", "5");
+        let mut c = Criterion::default();
+        let mut calls = 0u64;
+        c.bench_function("stub/add", |b| {
+            b.iter(|| {
+                calls += 1;
+                black_box(calls + 1)
+            })
+        });
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn groups_apply_overrides() {
+        std::env::set_var("CRITERION_MEASURE_MS", "5");
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("stub");
+        g.sample_size(3);
+        let mut ran = false;
+        g.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u64, 2, 3],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            );
+            ran = true;
+        });
+        g.finish();
+        assert!(ran);
+    }
+}

@@ -1,0 +1,606 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Provides the subset of the proptest API this workspace uses — the
+//! [`proptest!`] macro, [`strategy::Strategy`] with `prop_map` /
+//! `prop_flat_map`, range and tuple strategies, [`collection::vec`],
+//! [`arbitrary::any`], `prop_assert*` and `prop_assume!` — implemented as a
+//! deterministic random-sampling runner (no shrinking). Each test draws its
+//! cases from a seed derived from the test name, so failures reproduce; set
+//! `PROPTEST_SEED` to explore other schedules and `PROPTEST_CASES` to change
+//! the per-test case count.
+
+pub mod test_runner {
+    /// Per-test configuration (only the knobs the workspace uses).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of passing cases required.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            let cases = std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(256);
+            ProptestConfig { cases }
+        }
+    }
+
+    /// Why a sampled case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// An assertion failed; the message explains it.
+        Fail(String),
+        /// `prop_assume!` rejected the inputs; resample.
+        Reject,
+    }
+
+    impl TestCaseError {
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+    }
+
+    /// The deterministic generator cases are drawn from (SplitMix64).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeds from the test name (stable across runs), XORed with
+        /// `PROPTEST_SEED` when set.
+        pub fn from_name(name: &str) -> Self {
+            const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+            const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+            let mut h = FNV_OFFSET;
+            for b in name.as_bytes() {
+                h ^= u64::from(*b);
+                h = h.wrapping_mul(FNV_PRIME);
+            }
+            let env = std::env::var("PROPTEST_SEED")
+                .ok()
+                .and_then(|v| v.parse::<u64>().ok())
+                .unwrap_or(0);
+            TestRng { state: h ^ env }
+        }
+
+        /// The next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw below `bound` (> 0).
+        pub fn below(&mut self, bound: u64) -> u64 {
+            debug_assert!(bound > 0);
+            let threshold = bound.wrapping_neg() % bound;
+            loop {
+                let m = (self.next_u64() as u128) * (bound as u128);
+                if (m as u64) >= threshold {
+                    return (m >> 64) as u64;
+                }
+            }
+        }
+
+        /// Uniform draw in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    /// Drives one property: samples cases until `config.cases` pass, a case
+    /// fails (panic, with the inputs), or the rejection budget is exhausted.
+    pub fn run_cases<F>(config: &ProptestConfig, name: &str, mut case: F)
+    where
+        F: FnMut(&mut TestRng) -> (String, Result<(), TestCaseError>),
+    {
+        let mut rng = TestRng::from_name(name);
+        let mut passed = 0u32;
+        let mut rejected = 0u64;
+        let reject_budget = u64::from(config.cases) * 64 + 256;
+        while passed < config.cases {
+            let (inputs, outcome) = case(&mut rng);
+            match outcome {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject) => {
+                    rejected += 1;
+                    assert!(
+                        rejected <= reject_budget,
+                        "proptest {name}: rejected {rejected} cases \
+                         (only {passed}/{} passed); prop_assume! too strict?",
+                        config.cases
+                    );
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!(
+                        "proptest {name}: case failed after {passed} passing cases\n\
+                         inputs: {inputs}\n{msg}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::fmt::Debug;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        type Value: Debug;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O: Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Generates a value, then samples from the strategy `f` builds
+        /// from it.
+        fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        /// Boxes the strategy (API compatibility).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(self))
+        }
+    }
+
+    /// Trait-object strategy, as returned by [`Strategy::boxed`].
+    pub struct BoxedStrategy<T>(Box<dyn SampleOnly<T>>);
+
+    /// Object-safe sampling facet.
+    trait SampleOnly<T> {
+        fn sample_dyn(&self, rng: &mut TestRng) -> T;
+    }
+
+    impl<S: Strategy> SampleOnly<S::Value> for S {
+        fn sample_dyn(&self, rng: &mut TestRng) -> S::Value {
+            self.sample(rng)
+        }
+    }
+
+    impl<T: Debug> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            self.0.sample_dyn(rng)
+        }
+    }
+
+    /// Always produces a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone + Debug>(pub T);
+
+    impl<T: Clone + Debug> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, O: Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn sample(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    pub struct FlatMap<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+        type Value = S2::Value;
+        fn sample(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.inner.sample(rng)).sample(rng)
+        }
+    }
+
+    /// Integers (and floats) that range strategies can produce.
+    pub trait SampleValue: Copy + Debug + PartialOrd {
+        fn sample_range(rng: &mut TestRng, lo: Self, hi: Self, inclusive: bool) -> Self;
+        fn sample_full(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_sample_unsigned {
+        ($($t:ty),*) => {$(
+            impl SampleValue for $t {
+                fn sample_range(rng: &mut TestRng, lo: Self, hi: Self, inclusive: bool) -> Self {
+                    let lo = lo as u64;
+                    let hi = hi as u64;
+                    let span = hi - lo;
+                    if inclusive {
+                        if span == u64::MAX {
+                            return rng.next_u64() as $t;
+                        }
+                        (lo + rng.below(span + 1)) as $t
+                    } else {
+                        assert!(span > 0, "empty range strategy");
+                        (lo + rng.below(span)) as $t
+                    }
+                }
+                fn sample_full(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    macro_rules! impl_sample_signed {
+        ($($t:ty),*) => {$(
+            impl SampleValue for $t {
+                fn sample_range(rng: &mut TestRng, lo: Self, hi: Self, inclusive: bool) -> Self {
+                    let lo = (lo as i64 as u64) ^ (1 << 63);
+                    let hi = (hi as i64 as u64) ^ (1 << 63);
+                    let span = hi - lo;
+                    let raw = if inclusive {
+                        if span == u64::MAX {
+                            rng.next_u64()
+                        } else {
+                            lo + rng.below(span + 1)
+                        }
+                    } else {
+                        assert!(span > 0, "empty range strategy");
+                        lo + rng.below(span)
+                    };
+                    (raw ^ (1 << 63)) as i64 as $t
+                }
+                fn sample_full(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_sample_unsigned!(u8, u16, u32, u64, usize);
+    impl_sample_signed!(i8, i16, i32, i64, isize);
+
+    macro_rules! impl_sample_float {
+        ($($t:ty),*) => {$(
+            impl SampleValue for $t {
+                fn sample_range(rng: &mut TestRng, lo: Self, hi: Self, _inclusive: bool) -> Self {
+                    assert!(lo < hi, "empty float range strategy");
+                    let u = rng.unit_f64() as $t;
+                    lo + (hi - lo) * u
+                }
+                fn sample_full(rng: &mut TestRng) -> Self {
+                    (rng.unit_f64() * 2.0 - 1.0) as $t * <$t>::MAX
+                }
+            }
+        )*};
+    }
+
+    impl_sample_float!(f32, f64);
+
+    impl<T: SampleValue> Strategy for std::ops::Range<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::sample_range(rng, self.start, self.end, false)
+        }
+    }
+
+    impl<T: SampleValue> Strategy for std::ops::RangeInclusive<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::sample_range(rng, *self.start(), *self.end(), true)
+        }
+    }
+
+    macro_rules! impl_strategy_tuple {
+        ($(($($name:ident : $idx:tt),+)),* $(,)?) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_strategy_tuple!(
+        (A: 0),
+        (A: 0, B: 1),
+        (A: 0, B: 1, C: 2),
+        (A: 0, B: 1, C: 2, D: 3),
+        (A: 0, B: 1, C: 2, D: 3, E: 4),
+    );
+}
+
+pub mod arbitrary {
+    use crate::strategy::{SampleValue, Strategy};
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Strategy for the full domain of `T` (`any::<T>()`).
+    pub struct Any<T>(PhantomData<T>);
+
+    /// Samples any value of `T`.
+    pub fn any<T: ArbitraryValue>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    /// Types `any` supports.
+    pub trait ArbitraryValue: std::fmt::Debug + Copy {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl<T: SampleValue> ArbitraryValue for T {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            T::sample_full(rng)
+        }
+    }
+
+    impl<T: ArbitraryValue> Strategy for Any<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Acceptable size arguments for [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n,
+                hi_inclusive: n,
+            }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi_inclusive: *r.end(),
+            }
+        }
+    }
+
+    /// Generates `Vec`s whose elements come from `element` and whose length
+    /// falls in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi_inclusive - self.size.lo) as u64;
+            let len = self.size.lo
+                + if span == 0 {
+                    0
+                } else {
+                    rng.below(span + 1) as usize
+                };
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    /// `prop::collection::vec(...)`-style paths, as in upstream's prelude.
+    pub use crate as prop;
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Defines property tests. Mirrors upstream's surface syntax:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(16))]
+///     #[test]
+///     fn my_property(x in 0u64..100, ys in prop::collection::vec(0u32..9, 1..5)) {
+///         prop_assert!(x < 100);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            cfg = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = ($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config = $cfg;
+            $crate::test_runner::run_cases(&__config, stringify!($name), |__rng| {
+                let __vals = ($($crate::strategy::Strategy::sample(&($strat), __rng),)+);
+                let __inputs = format!("{:?}", __vals);
+                let __outcome = (|| -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                    let ($($pat,)+) = __vals;
+                    $body
+                    #[allow(unreachable_code)]
+                    Ok(())
+                })();
+                (__inputs, __outcome)
+            });
+        }
+    )*};
+}
+
+/// Asserts inside a property; on failure the case (with its inputs) is
+/// reported and the test panics.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// `prop_assert!`-style equality check.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a == *b,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($a), stringify!($b), a, b
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(*a == *b, $($fmt)+);
+    }};
+}
+
+/// `prop_assert!`-style inequality check.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a != *b,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($a), stringify!($b), a
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(*a != *b, $($fmt)+);
+    }};
+}
+
+/// Rejects the current case (resampled without counting toward the case
+/// budget).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 5u64..10, y in -3i32..=3, f in 0.25f64..0.75) {
+            prop_assert!((5..10).contains(&x));
+            prop_assert!((-3..=3).contains(&y));
+            prop_assert!((0.25..0.75).contains(&f));
+        }
+
+        #[test]
+        fn vec_lengths_respect_size(xs in prop::collection::vec(0u8..4, 2..6)) {
+            prop_assert!(xs.len() >= 2 && xs.len() < 6);
+            prop_assert!(xs.iter().all(|x| *x < 4));
+        }
+
+        #[test]
+        fn maps_and_flat_maps_compose(
+            v in (1usize..4).prop_flat_map(|n| prop::collection::vec(Just(n), n))
+        ) {
+            prop_assert!(!v.is_empty());
+            prop_assert_eq!(v.len(), v[0]);
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in 0u32..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "case failed")]
+    fn failing_property_panics_with_inputs() {
+        crate::proptest! {
+            #![proptest_config(ProptestConfig::with_cases(16))]
+            #[allow(dead_code)]
+            fn always_fails(x in 0u64..4) {
+                prop_assert!(x > 100, "x was {}", x);
+            }
+        }
+        always_fails();
+    }
+}

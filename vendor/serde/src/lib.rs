@@ -1,0 +1,451 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no crates.io access, so this crate provides a
+//! simplified but API-shaped replacement: types implement [`Serialize`] /
+//! [`Deserialize`] (usually via `#[derive(Serialize, Deserialize)]` from the
+//! sibling `serde_derive` stub) by converting to and from a self-describing
+//! [`Value`] tree. `serde_json` (also vendored) renders that tree as JSON.
+//!
+//! The generic [`Serializer`] / [`Deserializer`] traits are preserved so
+//! hand-written adapters (e.g. `#[serde(with = "module")]` helpers) keep
+//! their upstream signatures: `fn serialize<S: Serializer>(..) -> Result<S::Ok,
+//! S::Error>`.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, HashMap};
+
+/// A self-describing serialized tree — the data model every [`Serialize`]
+/// impl produces and every [`Deserialize`] impl consumes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    /// Negative integers.
+    I64(i64),
+    /// Non-negative integers.
+    U64(u64),
+    F64(f64),
+    Str(String),
+    Seq(Vec<Value>),
+    /// Key order is preserved (struct fields serialize in declaration
+    /// order), which keeps output byte-stable.
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a key in a [`Value::Map`].
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Map(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+/// Deserialization failure: a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(pub String);
+
+impl DeError {
+    pub fn custom(msg: impl std::fmt::Display) -> Self {
+        DeError(msg.to_string())
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Error construction hook, mirroring `serde::de::Error` /
+/// `serde::ser::Error`.
+pub trait Error: Sized {
+    fn custom(msg: String) -> Self;
+}
+
+impl Error for DeError {
+    fn custom(msg: String) -> Self {
+        DeError(msg)
+    }
+}
+
+/// A sink for one [`Value`] tree.
+pub trait Serializer: Sized {
+    type Ok;
+    type Error: Error;
+
+    fn serialize_value(self, value: Value) -> Result<Self::Ok, Self::Error>;
+}
+
+/// A source of one [`Value`] tree.
+pub trait Deserializer<'de>: Sized {
+    type Error: Error;
+
+    fn deserialize_value(self) -> Result<Value, Self::Error>;
+}
+
+/// Serializable types. Implemented by `#[derive(Serialize)]` via
+/// [`Serialize::to_value`].
+pub trait Serialize {
+    /// Converts `self` into the serialization data model.
+    fn to_value(&self) -> Value;
+
+    /// Upstream-shaped entry point.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(self.to_value())
+    }
+}
+
+/// Deserializable types. Implemented by `#[derive(Deserialize)]` via
+/// [`Deserialize::from_value`].
+pub trait Deserialize<'de>: Sized {
+    /// Rebuilds `Self` from the serialization data model.
+    fn from_value(value: &Value) -> Result<Self, DeError>;
+
+    /// Upstream-shaped entry point.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let value = deserializer.deserialize_value()?;
+        Self::from_value(&value).map_err(|e| D::Error::custom(e.0))
+    }
+}
+
+/// A [`Serializer`] producing the [`Value`] tree itself. Used by derived
+/// code to drive `#[serde(with = "...")]` adapter modules.
+pub struct ValueSerializer;
+
+impl Serializer for ValueSerializer {
+    type Ok = Value;
+    type Error = DeError;
+
+    fn serialize_value(self, value: Value) -> Result<Value, DeError> {
+        Ok(value)
+    }
+}
+
+/// A [`Deserializer`] reading from an owned [`Value`] tree. Used by derived
+/// code to drive `#[serde(with = "...")]` adapter modules.
+pub struct ValueDeserializer(pub Value);
+
+impl<'de> Deserializer<'de> for ValueDeserializer {
+    type Error = DeError;
+
+    fn deserialize_value(self) -> Result<Value, DeError> {
+        Ok(self.0)
+    }
+}
+
+// ---- impls for std types ----
+
+macro_rules! impl_serde_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::U64(*self as u64) }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                let raw = match value {
+                    Value::U64(v) => *v,
+                    Value::I64(v) if *v >= 0 => *v as u64,
+                    other => return Err(DeError::custom(format!(
+                        "expected unsigned integer, found {other:?}"
+                    ))),
+                };
+                <$t>::try_from(raw).map_err(|_| DeError::custom(format!(
+                    "integer {raw} out of range for {}", stringify!($t)
+                )))
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let v = *self as i64;
+                if v >= 0 { Value::U64(v as u64) } else { Value::I64(v) }
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                let raw: i64 = match value {
+                    Value::I64(v) => *v,
+                    Value::U64(v) => i64::try_from(*v).map_err(|_| {
+                        DeError::custom(format!("integer {v} out of range for i64"))
+                    })?,
+                    other => return Err(DeError::custom(format!(
+                        "expected integer, found {other:?}"
+                    ))),
+                };
+                <$t>::try_from(raw).map_err(|_| DeError::custom(format!(
+                    "integer {raw} out of range for {}", stringify!($t)
+                )))
+            }
+        }
+    )*};
+}
+
+impl_serde_uint!(u8, u16, u32, u64, usize);
+impl_serde_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for f64 {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::F64(v) => Ok(*v),
+            Value::U64(v) => Ok(*v as f64),
+            Value::I64(v) => Ok(*v as f64),
+            other => Err(DeError::custom(format!("expected float, found {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(f64::from(*self))
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        f64::from_value(value).map(|v| v as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::custom(format!("expected bool, found {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError::custom(format!("expected string, found {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            other => Err(DeError::custom(format!(
+                "expected sequence, found {other:?}"
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for std::collections::VecDeque<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for std::collections::VecDeque<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        Vec::<T>::from_value(value).map(Into::into)
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($name:ident : $idx:tt),+)),* $(,)?) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                let items = match value {
+                    Value::Seq(items) => items,
+                    other => return Err(DeError::custom(format!(
+                        "expected tuple sequence, found {other:?}"
+                    ))),
+                };
+                const LEN: usize = 0 $(+ { let _ = $idx; 1 })+;
+                if items.len() != LEN {
+                    return Err(DeError::custom(format!(
+                        "expected tuple of length {LEN}, found {}", items.len()
+                    )));
+                }
+                Ok(($($name::from_value(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_serde_tuple!(
+    (A: 0),
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3),
+    (A: 0, B: 1, C: 2, D: 3, E: 4),
+);
+
+/// Maps serialize as a sequence of `[key, value]` pairs: JSON objects can
+/// only key on strings, and this workspace keys maps by ids and tuples.
+impl<T: Serialize + Ord> Serialize for std::collections::BTreeSet<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<'de, T: Deserialize<'de> + Ord> Deserialize<'de> for std::collections::BTreeSet<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        Vec::<T>::from_value(value).map(|items| items.into_iter().collect())
+    }
+}
+
+impl<T: Serialize, S> Serialize for std::collections::HashSet<T, S> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<'de, T, S> Deserialize<'de> for std::collections::HashSet<T, S>
+where
+    T: Deserialize<'de> + std::hash::Hash + Eq,
+    S: std::hash::BuildHasher + Default,
+{
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        Vec::<T>::from_value(value).map(|items| items.into_iter().collect())
+    }
+}
+
+impl<K: Serialize + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Seq(
+            self.iter()
+                .map(|(k, v)| Value::Seq(vec![k.to_value(), v.to_value()]))
+                .collect(),
+        )
+    }
+}
+
+impl<'de, K: Deserialize<'de> + Ord, V: Deserialize<'de>> Deserialize<'de> for BTreeMap<K, V> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        Vec::<(K, V)>::from_value(value).map(|pairs| pairs.into_iter().collect())
+    }
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_value(&self) -> Value {
+        Value::Seq(
+            self.iter()
+                .map(|(k, v)| Value::Seq(vec![k.to_value(), v.to_value()]))
+                .collect(),
+        )
+    }
+}
+
+impl<'de, K, V, S> Deserialize<'de> for HashMap<K, V, S>
+where
+    K: Deserialize<'de> + std::hash::Hash + Eq,
+    V: Deserialize<'de>,
+    S: std::hash::BuildHasher + Default,
+{
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        Vec::<(K, V)>::from_value(value).map(|pairs| pairs.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u64::from_value(&42u64.to_value()), Ok(42));
+        assert_eq!(i32::from_value(&(-7i32).to_value()), Ok(-7));
+        assert_eq!(bool::from_value(&true.to_value()), Ok(true));
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()),
+            Ok("hi".to_string())
+        );
+        assert_eq!(Option::<u8>::from_value(&Value::Null), Ok(None));
+        assert_eq!(
+            Vec::<u32>::from_value(&vec![1u32, 2, 3].to_value()),
+            Ok(vec![1, 2, 3])
+        );
+        let pair = (3u32, "x".to_string());
+        assert_eq!(<(u32, String)>::from_value(&pair.to_value()), Ok(pair));
+    }
+
+    #[test]
+    fn btreemap_round_trips_as_pairs() {
+        let mut m = BTreeMap::new();
+        m.insert((1u32, 2u32), 9u64);
+        let v = m.to_value();
+        assert!(matches!(v, Value::Seq(_)));
+        assert_eq!(BTreeMap::<(u32, u32), u64>::from_value(&v), Ok(m));
+    }
+}

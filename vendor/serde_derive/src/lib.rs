@@ -1,0 +1,510 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Derives the vendored `serde` crate's value-model [`Serialize`] /
+//! [`Deserialize`] traits. Since `syn`/`quote` are unavailable offline, the
+//! item is parsed directly from the raw token stream. Supported shapes —
+//! everything this workspace uses:
+//!
+//! * structs with named fields (including `#[serde(with = "module")]`)
+//! * tuple structs (newtypes serialize transparently, wider ones as a seq)
+//! * unit structs
+//! * enums with unit, newtype, tuple and struct variants (externally
+//!   tagged, like upstream serde's default)
+//!
+//! Generic types are rejected with a compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+struct Field {
+    name: String,
+    /// Module path from `#[serde(with = "path")]`, if present.
+    with: Option<String>,
+}
+
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        shape: Shape,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => {
+            let code = match mode {
+                Mode::Serialize => gen_serialize(&item),
+                Mode::Deserialize => gen_deserialize(&item),
+            };
+            code.parse()
+                .expect("serde_derive: generated code must parse")
+        }
+        Err(msg) => format!("::std::compile_error!({msg:?});")
+            .parse()
+            .expect("compile_error must parse"),
+    }
+}
+
+// ---- parsing ----
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes and visibility.
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) if id.to_string() == "struct" => "struct",
+        Some(TokenTree::Ident(id)) if id.to_string() == "enum" => "enum",
+        other => {
+            return Err(format!(
+                "serde_derive: expected struct or enum, found {other:?}"
+            ))
+        }
+    };
+    i += 1;
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("serde_derive: expected item name, found {other:?}")),
+    };
+    i += 1;
+
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde_derive (vendored): generic type {name} is not supported"
+        ));
+    }
+
+    if kind == "struct" {
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                parse_named_fields(g.stream())?
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit,
+            other => return Err(format!("serde_derive: unexpected struct body {other:?}")),
+        };
+        Ok(Item::Struct { name, shape })
+    } else {
+        let body = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+            other => return Err(format!("serde_derive: expected enum body, found {other:?}")),
+        };
+        Ok(Item::Enum {
+            name,
+            variants: parse_variants(body)?,
+        })
+    }
+}
+
+/// Advances `i` past any `#[...]` attributes, `pub`, and `pub(...)`.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // '#' and the bracket group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(
+                    tokens.get(*i),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Extracts `with = "path"` from a `#[serde(...)]` attribute body, if the
+/// attribute at `tokens[i]` is one. `i` must point at the `#`.
+fn serde_with_of_attr(tokens: &[TokenTree], i: usize) -> Option<String> {
+    let TokenTree::Group(bracket) = tokens.get(i + 1)? else {
+        return None;
+    };
+    let inner: Vec<TokenTree> = bracket.stream().into_iter().collect();
+    match (inner.first(), inner.get(1)) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args)))
+            if id.to_string() == "serde" && args.delimiter() == Delimiter::Parenthesis =>
+        {
+            let args: Vec<TokenTree> = args.stream().into_iter().collect();
+            match (args.first(), args.get(1), args.get(2)) {
+                (
+                    Some(TokenTree::Ident(key)),
+                    Some(TokenTree::Punct(eq)),
+                    Some(TokenTree::Literal(lit)),
+                ) if key.to_string() == "with" && eq.as_char() == '=' => {
+                    let s = lit.to_string();
+                    Some(s.trim_matches('"').to_string())
+                }
+                _ => None,
+            }
+        }
+        _ => None,
+    }
+}
+
+fn parse_named_fields(body: TokenStream) -> Result<Shape, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Attributes (catching `#[serde(with = "...")]`).
+        let mut with = None;
+        while matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            if let Some(path) = serde_with_of_attr(&tokens, i) {
+                with = Some(path);
+            }
+            i += 2;
+        }
+        skip_attrs_and_vis(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => {
+                return Err(format!(
+                    "serde_derive: expected field name, found {other:?}"
+                ))
+            }
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => return Err(format!("serde_derive: expected ':', found {other:?}")),
+        }
+        // Skip the type: consume until a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        while let Some(tok) = tokens.get(i) {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+                _ => {}
+            }
+            i += 1;
+        }
+        i += 1; // past the comma (or the end)
+        fields.push(Field { name, with });
+    }
+    Ok(Shape::Named(fields))
+}
+
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut depth = 0i32;
+    let mut count = 0;
+    let mut saw_any = false;
+    for tok in body {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => count += 1,
+            _ => saw_any = true,
+        }
+    }
+    if saw_any {
+        count + 1
+    } else {
+        0
+    }
+}
+
+fn parse_variants(body: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => return Err(format!("serde_derive: expected variant, found {other:?}")),
+        };
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                parse_named_fields(g.stream())?
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Shape::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => Shape::Unit,
+        };
+        // Skip to the next top-level comma (covers discriminants).
+        while i < tokens.len() {
+            if matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ',') {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+        variants.push(Variant { name, shape });
+    }
+    Ok(variants)
+}
+
+// ---- codegen ----
+
+fn field_to_value(access: &str, with: &Option<String>) -> String {
+    match with {
+        Some(path) => format!(
+            "match {path}::serialize(&{access}, serde::ValueSerializer) {{ \
+                 Ok(v) => v, Err(e) => ::std::panic!(\"serialize failed: {{e}}\") }}"
+        ),
+        None => format!("serde::Serialize::to_value(&{access})"),
+    }
+}
+
+fn named_fields_to_map(fields: &[Field], access_prefix: &str) -> String {
+    let entries: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            let access = format!("{access_prefix}{}", f.name);
+            format!(
+                "({:?}.to_string(), {})",
+                f.name,
+                field_to_value(&access, &f.with)
+            )
+        })
+        .collect();
+    format!("serde::Value::Map(vec![{}])", entries.join(", "))
+}
+
+fn named_fields_from_map(
+    type_path: &str,
+    fields: &[Field],
+    value_expr: &str,
+    context: &str,
+) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            let fetch = format!(
+                "{value_expr}.get({:?}).ok_or_else(|| serde::DeError::custom(\
+                     format!(\"missing field `{}` in {context}\")))?",
+                f.name, f.name
+            );
+            match &f.with {
+                Some(path) => format!(
+                    "{}: {path}::deserialize(serde::ValueDeserializer(({fetch}).clone()))?",
+                    f.name
+                ),
+                None => format!("{}: serde::Deserialize::from_value({fetch})?", f.name),
+            }
+        })
+        .collect();
+    format!("{type_path} {{ {} }}", inits.join(", "))
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::Struct { name, shape } => {
+            let body = match shape {
+                Shape::Unit => "serde::Value::Null".to_string(),
+                Shape::Tuple(1) => "serde::Serialize::to_value(&self.0)".to_string(),
+                Shape::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("serde::Serialize::to_value(&self.{i})"))
+                        .collect();
+                    format!("serde::Value::Seq(vec![{}])", items.join(", "))
+                }
+                Shape::Named(fields) => named_fields_to_map(fields, "self."),
+            };
+            (name, body)
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| match &v.shape {
+                    Shape::Unit => {
+                        format!("Self::{0} => serde::Value::Str({0:?}.to_string()),", v.name)
+                    }
+                    Shape::Tuple(1) => format!(
+                        "Self::{0}(x0) => serde::Value::Map(vec![({0:?}.to_string(), \
+                             serde::Serialize::to_value(x0))]),",
+                        v.name
+                    ),
+                    Shape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("serde::Serialize::to_value(x{i})"))
+                            .collect();
+                        format!(
+                            "Self::{0}({binds}) => serde::Value::Map(vec![({0:?}.to_string(), \
+                                 serde::Value::Seq(vec![{items}]))]),",
+                            v.name,
+                            binds = binds.join(", "),
+                            items = items.join(", ")
+                        )
+                    }
+                    Shape::Named(fields) => {
+                        let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let entries: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "({:?}.to_string(), {})",
+                                    f.name,
+                                    field_to_value(&f.name, &f.with)
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "Self::{0} {{ {binds} }} => serde::Value::Map(vec![({0:?}.to_string(), \
+                                 serde::Value::Map(vec![{entries}]))]),",
+                            v.name,
+                            binds = binds.join(", "),
+                            entries = entries.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            (name, format!("match self {{ {} }}", arms.join(" ")))
+        }
+    };
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::Struct { name, shape } => {
+            let body = match shape {
+                Shape::Unit => format!("Ok({name})"),
+                Shape::Tuple(1) => {
+                    format!("Ok({name}(serde::Deserialize::from_value(value)?))")
+                }
+                Shape::Tuple(n) => {
+                    let inits: Vec<String> = (0..*n)
+                        .map(|i| format!("serde::Deserialize::from_value(&items[{i}])?"))
+                        .collect();
+                    format!(
+                        "match value {{\n\
+                             serde::Value::Seq(items) if items.len() == {n} => \
+                                 Ok({name}({inits})),\n\
+                             other => Err(serde::DeError::custom(format!(\
+                                 \"expected {n}-element sequence for {name}, found {{other:?}}\"))),\n\
+                         }}",
+                        inits = inits.join(", ")
+                    )
+                }
+                Shape::Named(fields) => {
+                    let build = named_fields_from_map(name, fields, "value", name);
+                    format!("Ok({build})")
+                }
+            };
+            (name, body)
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.shape, Shape::Unit))
+                .map(|v| format!("{0:?} => Ok(Self::{0}),", v.name))
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| match &v.shape {
+                    Shape::Unit => None,
+                    Shape::Tuple(1) => Some(format!(
+                        "{0:?} => Ok(Self::{0}(serde::Deserialize::from_value(payload)?)),",
+                        v.name
+                    )),
+                    Shape::Tuple(n) => {
+                        let inits: Vec<String> = (0..*n)
+                            .map(|i| format!("serde::Deserialize::from_value(&items[{i}])?"))
+                            .collect();
+                        Some(format!(
+                            "{0:?} => match payload {{\n\
+                                 serde::Value::Seq(items) if items.len() == {n} => \
+                                     Ok(Self::{0}({inits})),\n\
+                                 other => Err(serde::DeError::custom(format!(\
+                                     \"bad payload for {name}::{0}: {{other:?}}\"))),\n\
+                             }},",
+                            v.name,
+                            inits = inits.join(", ")
+                        ))
+                    }
+                    Shape::Named(fields) => {
+                        let build = named_fields_from_map(
+                            &format!("Self::{}", v.name),
+                            fields,
+                            "payload",
+                            &format!("{name}::{}", v.name),
+                        );
+                        Some(format!("{0:?} => Ok({build}),", v.name))
+                    }
+                })
+                .collect();
+            let body = format!(
+                "match value {{\n\
+                     serde::Value::Str(s) => match s.as_str() {{\n\
+                         {unit_arms}\n\
+                         other => Err(serde::DeError::custom(format!(\
+                             \"unknown variant {{other}} of {name}\"))),\n\
+                     }},\n\
+                     serde::Value::Map(entries) if entries.len() == 1 => {{\n\
+                         let (tag, payload) = &entries[0];\n\
+                         let _ = payload;\n\
+                         match tag.as_str() {{\n\
+                             {data_arms}\n\
+                             other => Err(serde::DeError::custom(format!(\
+                                 \"unknown variant {{other}} of {name}\"))),\n\
+                         }}\n\
+                     }}\n\
+                     other => Err(serde::DeError::custom(format!(\
+                         \"expected variant of {name}, found {{other:?}}\"))),\n\
+                 }}",
+                unit_arms = unit_arms.join("\n"),
+                data_arms = data_arms.join("\n")
+            );
+            (name, body)
+        }
+    };
+    format!(
+        "impl<'de> serde::Deserialize<'de> for {name} {{\n\
+             fn from_value(value: &serde::Value) -> ::std::result::Result<Self, serde::DeError> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
