@@ -11,7 +11,7 @@ use workload::RequestMix;
 /// resource saturation, per-IP rates, traffic volume) that every deployed
 /// defence detects. The experiments use it for the volume comparison of
 /// Section I: Grunt needs orders of magnitude less traffic.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct BruteForce {
     mix: RequestMix,
     rate: f64,
@@ -75,6 +75,10 @@ impl Agent for BruteForce {
         );
         self.sent += 1;
         self.schedule_next(ctx);
+    }
+
+    fn snapshot(&self) -> Option<microsim::AgentState> {
+        Some(microsim::AgentState::of(self))
     }
 }
 

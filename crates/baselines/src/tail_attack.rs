@@ -41,7 +41,7 @@ impl TailAttackConfig {
 /// `interval` — the waveform of the Tail attack, which Grunt generalises
 /// to multiple alternating paths. Collects its own request latencies so
 /// experiments can read the attacker-observed damage.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct TailAttack {
     cfg: TailAttackConfig,
     sent: u64,
@@ -125,6 +125,10 @@ impl Agent for TailAttack {
 
     fn on_response(&mut self, _ctx: &mut SimCtx<'_>, response: &Response) {
         self.latencies_ms.push(response.latency_ms());
+    }
+
+    fn snapshot(&self) -> Option<microsim::AgentState> {
+        Some(microsim::AgentState::of(self))
     }
 }
 

@@ -3,11 +3,15 @@
 //! the parallel sweep speedup, then writes `BENCH_kernel.json`.
 //!
 //! ```text
-//! cargo run --release -p bench --bin bench_kernel [-- --out <path> --quick]
+//! cargo run --release -p bench --bin bench_kernel [-- --out <path> --quick --check]
 //! ```
 //!
-//! `--quick` skips the Table I slice (the slowest section). All timing
-//! uses `std::time::Instant`; output goes to the JSON file and stdout.
+//! `--quick` skips the Table I slices (the slowest sections). `--check`
+//! runs only the correctness smoke test — a warm-snapshot forked campaign
+//! must be byte-identical to a cold one, and batched RNG draws must match
+//! the per-call sequence — writing no JSON and exiting nonzero on any
+//! mismatch (CI runs this). All timing uses `std::time::Instant`; output
+//! goes to the JSON file and stdout.
 
 use bench::{kernel_offset_micros, xorshift64, HOLD_PENDING};
 use callgraph::{RequestTypeId, ServiceSpec, TopologyBuilder};
@@ -92,8 +96,70 @@ fn kernel_steady_state() -> u64 {
     sim.metrics().request_log().len() as u64
 }
 
+/// The smoke test behind `--check`: asserts the two invariants this crate's
+/// numbers rely on, fast enough for CI.
+fn check() {
+    eprintln!("== check: batched RNG draws match the per-call sequence ==");
+    let mut per_call = simnet::RngStream::from_label(7, "bench/check");
+    let mut batched = simnet::RngStream::from_label(7, "bench/check");
+    let mut buf = [0.0f64; 32];
+    batched.fill_standard_normal(&mut buf);
+    for (i, z) in buf.iter().enumerate() {
+        let expected = per_call.lognormal_mean_cv(4.0, 0.3);
+        let got = simnet::lognormal_mean_cv_from_z(4.0, 0.3, *z);
+        assert!(
+            expected == got,
+            "draw {i}: per-call {expected} != batched {got}"
+        );
+    }
+
+    eprintln!("== check: forked campaign is byte-identical to cold ==");
+    let scenario = lab::Scenario::social_network(
+        "check",
+        microsim::PlatformProfile::ec2(),
+        1_500,
+        1_500,
+        0xC4EC,
+    );
+    let baseline = SimDuration::from_secs(20);
+    let attack = SimDuration::from_secs(60);
+    let forked = lab::AttackRun::execute_opts(
+        &scenario,
+        grunt::CampaignConfig::default(),
+        baseline,
+        attack,
+        true,
+    );
+    let cold = lab::AttackRun::execute_opts(
+        &scenario,
+        grunt::CampaignConfig::default(),
+        baseline,
+        attack,
+        false,
+    );
+    assert!(
+        forked.sim.metrics() == cold.sim.metrics(),
+        "forked metrics differ from cold"
+    );
+    assert_eq!(
+        forked.sim.rng_fingerprint(),
+        cold.sim.rng_fingerprint(),
+        "forked RNG positions differ from cold"
+    );
+    assert_eq!(
+        forked.sim.pending_events(),
+        cold.sim.pending_events(),
+        "forked pending-event counts differ from cold"
+    );
+    eprintln!("check OK");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--check") {
+        check();
+        return;
+    }
     let quick = args.iter().any(|a| a == "--quick");
     let out_path = args
         .iter()
@@ -131,6 +197,66 @@ fn main() {
     let req_per_sec = requests as f64 / (kernel_ns / 1e9);
     let sim_speed = 1.0 / (kernel_ns / 1e9);
     eprintln!("   {req_per_sec:.0} requests/s simulated ({sim_speed:.0}x real time)");
+
+    eprintln!("== service-demand RNG: per-call vs batched draws ==");
+    const DRAWS: usize = 4_096;
+    let per_call_ns = time_ns(
+        || {
+            let mut rng = simnet::RngStream::from_label(11, "bench/demand");
+            let mut acc = 0.0f64;
+            for _ in 0..DRAWS {
+                acc += rng.lognormal_mean_cv(4.0, 0.3);
+            }
+            acc.to_bits()
+        },
+        200,
+    ) / DRAWS as f64;
+    let batched_ns = time_ns(
+        || {
+            let mut rng = simnet::RngStream::from_label(11, "bench/demand");
+            let mut buf = [0.0f64; 32];
+            let mut acc = 0.0f64;
+            for _ in 0..DRAWS / 32 {
+                rng.fill_standard_normal(&mut buf);
+                for z in buf {
+                    acc += simnet::lognormal_mean_cv_from_z(4.0, 0.3, z);
+                }
+            }
+            acc.to_bits()
+        },
+        200,
+    ) / DRAWS as f64;
+    eprintln!(
+        "   per-call {per_call_ns:.1} ns/draw, batched {batched_ns:.1} ns/draw, \
+         speedup {:.2}x",
+        per_call_ns / batched_ns
+    );
+
+    let snapshot_fork = if quick {
+        eprintln!("== skipping snapshot fork slice (--quick) ==");
+        None
+    } else {
+        eprintln!("== Table I param sweep (4 damage-goal cells): cold vs forked ==");
+        let opts = lab::RunOpts::new(lab::Fidelity::Fast);
+        let t0 = Instant::now();
+        let cold = lab::experiments::table1::param_sweep_report(opts.snapshots(false));
+        let cold_secs = t0.elapsed().as_secs_f64();
+        let t1 = Instant::now();
+        let forked = lab::experiments::table1::param_sweep_report(opts);
+        let forked_secs = t1.elapsed().as_secs_f64();
+        assert_eq!(
+            cold.to_markdown(),
+            forked.to_markdown(),
+            "forked param sweep must be byte-identical to cold"
+        );
+        eprintln!(
+            "   cold {cold_secs:.1}s, forked {forked_secs:.1}s, speedup {:.2}x (byte-identical; \
+             the shared warm-up + baseline + profiling prefix is simulated once instead of {} times)",
+            cold_secs / forked_secs,
+            lab::experiments::table1::PARAM_SWEEP_GOALS.len()
+        );
+        Some((cold_secs, forked_secs))
+    };
 
     let table1 = if quick {
         eprintln!("== skipping Table I slice (--quick) ==");
@@ -170,9 +296,24 @@ fn main() {
         queue_speedup
     ));
     json.push_str(&format!(
-        "  \"kernel_steady_state\": {{\n    \"requests_per_wall_second\": {:.0},\n    \"sim_seconds_per_wall_second\": {:.1}\n  }}",
+        "  \"kernel_steady_state\": {{\n    \"requests_per_wall_second\": {:.0},\n    \"sim_seconds_per_wall_second\": {:.1}\n  }},\n",
         req_per_sec, sim_speed
     ));
+    json.push_str(&format!(
+        "  \"demand_rng_batching\": {{\n    \"per_call_ns_per_draw\": {:.2},\n    \"batched_ns_per_draw\": {:.2},\n    \"speedup\": {:.3}\n  }}",
+        per_call_ns,
+        batched_ns,
+        per_call_ns / batched_ns
+    ));
+    if let Some((cold_secs, forked_secs)) = snapshot_fork {
+        json.push_str(&format!(
+            ",\n  \"table1_param_sweep_fork\": {{\n    \"cells\": {},\n    \"cold_secs\": {:.2},\n    \"forked_secs\": {:.2},\n    \"speedup\": {:.3}\n  }}",
+            lab::experiments::table1::PARAM_SWEEP_GOALS.len(),
+            cold_secs,
+            forked_secs,
+            cold_secs / forked_secs
+        ));
+    }
     if let Some((serial_secs, parallel_secs)) = table1 {
         json.push_str(&format!(
             ",\n  \"table1_two_cell_slice\": {{\n    \"serial_secs\": {:.2},\n    \"jobs2_secs\": {:.2},\n    \"speedup\": {:.3}\n  }}",

@@ -69,7 +69,7 @@ impl Span {
 /// let cp = h.critical_path().unwrap();
 /// assert_eq!(cp.services(), vec![ServiceId::new(0), ServiceId::new(1)]);
 /// ```
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct ExecutionHistory {
     spans: Vec<Span>,
 }

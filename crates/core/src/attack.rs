@@ -53,7 +53,22 @@ impl GruntCampaign {
         config: CampaignConfig,
         attack_window: SimDuration,
     ) -> GruntCampaign {
-        let profiler_id = sim.add_agent(Box::new(Profiler::new(config.profiler)));
+        let profile = GruntCampaign::profile(sim, config.profiler);
+        GruntCampaign::attack_with(sim, profile, config.commander, attack_window)
+    }
+
+    /// Runs just the profiling phase to completion and returns what the
+    /// Profiler learned. The simulation is left at the instant profiling
+    /// finished, ready for [`GruntCampaign::attack_with`] — or for a
+    /// [`Simulation::checkpoint`] so several attack variants can fork from
+    /// the same profiled state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profiler fails to finish within a generous horizon
+    /// (24 simulated hours) — that indicates a mis-configured target.
+    pub fn profile(sim: &mut Simulation, config: ProfilerConfig) -> ProfilerOutcome {
+        let profiler_id = sim.add_agent(Box::new(Profiler::new(config)));
         let horizon = sim.now() + SimDuration::from_secs(24 * 3600);
         loop {
             let next = sim.now() + SimDuration::from_secs(10);
@@ -67,17 +82,27 @@ impl GruntCampaign {
             }
             assert!(sim.now() < horizon, "profiler did not converge");
         }
-        let profile = sim
-            .agent_as::<Profiler>(profiler_id)
+        sim.agent_as::<Profiler>(profiler_id)
             .expect("profiler registered")
             .outcome()
             .expect("done implies outcome")
-            .clone();
+            .clone()
+    }
 
+    /// Attacks for `attack_window` using an already-obtained `profile`
+    /// (from [`GruntCampaign::profile`], possibly on a forked simulation).
+    ///
+    /// `commander.stop_at` is overwritten by the attack window.
+    pub fn attack_with(
+        sim: &mut Simulation,
+        profile: ProfilerOutcome,
+        commander: CommanderConfig,
+        attack_window: SimDuration,
+    ) -> GruntCampaign {
         let attack_started = sim.now();
         let commander_cfg = CommanderConfig {
             stop_at: attack_started + attack_window,
-            ..config.commander
+            ..commander
         };
         let commander_id = sim.add_agent(Box::new(GruntCommander::new(&profile, commander_cfg)));
         sim.run_until(attack_started + attack_window);

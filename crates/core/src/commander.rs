@@ -89,7 +89,7 @@ impl Default for CommanderConfig {
 }
 
 /// Per-group attack state.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct GroupState {
     /// Ranked candidates (best first).
     ranked: Vec<RankedPath>,
@@ -129,7 +129,7 @@ struct GroupState {
 /// The attacking agent. Construct from a [`ProfilerOutcome`], register,
 /// and run the simulation to `stop_at`; read the [`AttackReport`] back
 /// with [`GruntCommander::report`].
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct GruntCommander {
     cfg: CommanderConfig,
     farm: BotFarm,
@@ -555,6 +555,10 @@ impl Agent for GruntCommander {
             }
         }
         let _ = ctx;
+    }
+
+    fn snapshot(&self) -> Option<microsim::AgentState> {
+        Some(microsim::AgentState::of(self))
     }
 }
 

@@ -151,7 +151,7 @@ enum Phase {
 
 /// The profiling agent. Register it, run the simulation until
 /// [`Profiler::is_done`], then read [`Profiler::outcome`].
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Profiler {
     cfg: ProfilerConfig,
     rng: RngStream,
@@ -606,6 +606,10 @@ impl Agent for Profiler {
         if let Some(burst) = &mut self.current_burst {
             burst.record(response);
         }
+    }
+
+    fn snapshot(&self) -> Option<microsim::AgentState> {
+        Some(microsim::AgentState::of(self))
     }
 }
 

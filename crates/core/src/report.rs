@@ -21,7 +21,7 @@ pub struct BurstRecord {
 }
 
 /// The Commander's campaign log.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct AttackReport {
     /// Completed bursts in launch order.
     pub bursts: Vec<BurstRecord>,

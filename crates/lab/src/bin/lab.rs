@@ -1,21 +1,30 @@
 //! Experiment runner CLI.
 //!
 //! ```text
-//! lab <experiment|all> [--fast] [--out <dir>] [--jobs <N|auto>]
+//! lab <experiment|all> [--fast] [--out <dir>] [--jobs <N|auto>] [--no-snapshot]
 //! ```
 //!
 //! `--jobs` runs independent sweep cells (table experiments) on up to `N`
 //! OS threads; results are emitted in cell order, so the written reports
 //! are byte-identical to a serial run. Defaults to `LAB_JOBS` or 1.
+//! `--jobs auto` uses the machine's available parallelism, falling back to
+//! serial on single-CPU hosts.
+//!
+//! `--no-snapshot` disables warm-state snapshot forking: every run
+//! re-simulates its warm-up/baseline/profiling prefix inline. Reports are
+//! byte-identical with or without it — the flag exists for debugging the
+//! snapshot path itself and for benchmarking the saving.
 //!
 //! Known experiments: see `lab::experiments::ALL`.
 
-use lab::{experiments, sweep, Fidelity};
+use lab::{experiments, sweep, Fidelity, RunOpts};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() || args[0] == "--help" || args[0] == "-h" {
-        eprintln!("usage: lab <experiment|all> [--fast] [--out <dir>] [--jobs <N|auto>]");
+        eprintln!(
+            "usage: lab <experiment|all> [--fast] [--out <dir>] [--jobs <N|auto>] [--no-snapshot]"
+        );
         eprintln!("experiments: {}", experiments::ALL.join(", "));
         std::process::exit(if args.is_empty() { 2 } else { 0 });
     }
@@ -47,6 +56,7 @@ fn main() {
                 std::process::exit(2);
             }),
     };
+    let snapshots = !args.iter().any(|a| a == "--no-snapshot");
 
     let names: Vec<&str> = if which == "all" {
         experiments::ALL.to_vec()
@@ -66,8 +76,12 @@ fn main() {
 
     for name in names {
         let started = std::time::Instant::now();
-        eprintln!("== running {name} ({fidelity:?}, jobs={jobs}) ==");
-        let report = experiments::run_jobs(name, fidelity, jobs);
+        eprintln!(
+            "== running {name} ({fidelity:?}, jobs={jobs}{}) ==",
+            if snapshots { "" } else { ", no-snapshot" }
+        );
+        let opts = RunOpts::new(fidelity).jobs(jobs).snapshots(snapshots);
+        let report = experiments::run_with(name, opts);
         let path = report
             .write_to_dir(&out_dir)
             .unwrap_or_else(|e| panic!("writing report for {name}: {e}"));

@@ -3,13 +3,13 @@
 
 use baselines::{BruteForce, TailAttack, TailAttackConfig};
 use defense::{AlertKind, Ids, IdsConfig, RateShield};
-use grunt::CampaignConfig;
-use microsim::Metrics;
+use grunt::{CampaignConfig, ProfilerConfig};
+use microsim::{Metrics, Simulation};
 use simnet::{SimDuration, SimTime};
 use telemetry::{LatencySummary, Traffic};
 
 use crate::report::fmt;
-use crate::{AttackRun, Fidelity, Report, Scenario};
+use crate::{AttackRun, Fidelity, Report, RunOpts, Scenario};
 
 struct Row {
     label: String,
@@ -59,8 +59,22 @@ fn attack_bytes(metrics: &Metrics, from: SimTime, to: SimTime) -> (u64, f64) {
 
 /// Runs the experiment.
 pub fn run(fidelity: Fidelity) -> Report {
+    run_opts(RunOpts::new(fidelity))
+}
+
+/// Runs the experiment with full execution options.
+///
+/// All four rows attack the same scenario after the same 40 s warm prefix
+/// (10 s warm-up + 30 s baseline), and the two Grunt rows additionally
+/// share the profiling phase. With `opts.snapshots` those shared prefixes
+/// are simulated once and every row forks from the frozen state; without,
+/// each row re-simulates its prefix cold. Rows are byte-identical either
+/// way.
+pub fn run_opts(opts: RunOpts) -> Report {
+    let fidelity = opts.fidelity;
     let users = fidelity.pick(7_000, 3_000);
     let window = fidelity.secs(300, 120);
+    let baseline = SimDuration::from_secs(30);
     let scenario = Scenario::social_network(
         "EC2",
         microsim::PlatformProfile::ec2(),
@@ -69,16 +83,30 @@ pub fn run(fidelity: Fidelity) -> Report {
         0xAB1A,
     );
 
+    let base = opts.snapshots.then(|| scenario.warm_base(baseline));
+    let profiled = base.as_ref().map(|b| b.profiled(ProfilerConfig::default()));
+    // A Grunt campaign run: fork the shared profiled state, or replay the
+    // whole prefix inline when snapshots are off.
+    let grunt_run = |config: CampaignConfig| match &profiled {
+        Some(warm) => AttackRun::forked(warm, config.commander, window),
+        None => AttackRun::execute_opts(&scenario, config, baseline, window, false),
+    };
+    // A warmed simulation at t = 40 s for the baseline attacks: fork the
+    // shared base, or warm up a fresh simulation inline.
+    let warmed_sim = || match &base {
+        Some(b) => b.fork(),
+        None => {
+            let mut sim = scenario.build();
+            sim.run_until(SimTime::from_secs(40));
+            sim
+        }
+    };
+
     let mut rows: Vec<Row> = Vec::new();
 
     // ---- Grunt ----
     {
-        let run = AttackRun::execute(
-            &scenario,
-            CampaignConfig::default(),
-            SimDuration::from_secs(30),
-            window,
-        );
+        let run = grunt_run(CampaignConfig::default());
         let att = run.attack_latency();
         let (n, mb) = attack_bytes(
             run.metrics(),
@@ -114,7 +142,7 @@ pub fn run(fidelity: Fidelity) -> Report {
             },
             ..CampaignConfig::default()
         };
-        let run = AttackRun::execute(&scenario, config, SimDuration::from_secs(30), window);
+        let run = grunt_run(config);
         let att = run.attack_latency();
         let (n, mb) = attack_bytes(
             run.metrics(),
@@ -143,8 +171,7 @@ pub fn run(fidelity: Fidelity) -> Report {
 
     // ---- Tail attack (single path) ----
     {
-        let mut sim = scenario.build();
-        sim.run_until(SimTime::from_secs(40));
+        let mut sim: Simulation = warmed_sim();
         let target = scenario
             .topology
             .request_type_by_name("compose-rich-post")
@@ -185,8 +212,7 @@ pub fn run(fidelity: Fidelity) -> Report {
 
     // ---- Brute force ----
     {
-        let mut sim = scenario.build();
-        sim.run_until(SimTime::from_secs(40));
+        let mut sim: Simulation = warmed_sim();
         let a0 = sim.now();
         let app = apps::social_network(7_000);
         // Sized against the *provisioned* capacity (7k users), not the

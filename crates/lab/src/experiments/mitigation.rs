@@ -11,10 +11,16 @@ use grunt::CampaignConfig;
 use telemetry::GroundTruth;
 
 use crate::report::fmt;
-use crate::{AttackRun, Fidelity, Report, Scenario};
+use crate::{AttackRun, Fidelity, Report, RunOpts, Scenario};
 
 /// Runs the experiment.
 pub fn run(fidelity: Fidelity) -> Report {
+    run_opts(RunOpts::new(fidelity))
+}
+
+/// Runs the experiment with full execution options.
+pub fn run_opts(opts: RunOpts) -> Report {
+    let fidelity = opts.fidelity;
     let users = fidelity.pick(7_000, 3_000);
     let baseline = fidelity.secs(60, 30);
     let attack = fidelity.secs(600, 120);
@@ -42,7 +48,13 @@ pub fn run(fidelity: Fidelity) -> Report {
             platform: microsim::PlatformProfile::ec2(),
             seed: 0x716A,
         };
-        let run = AttackRun::execute(&scenario, CampaignConfig::default(), baseline, attack);
+        let run = AttackRun::execute_opts(
+            &scenario,
+            CampaignConfig::default(),
+            baseline,
+            attack,
+            opts.snapshots,
+        );
         let base = run.baseline_latency();
         let att = run.attack_latency();
         let gt = GroundTruth::from_topology(app.topology());

@@ -13,7 +13,7 @@ pub mod model_check;
 pub mod table1;
 pub mod table4;
 
-use crate::{Fidelity, Report};
+use crate::{Fidelity, Report, RunOpts};
 
 /// All experiment names, in a sensible execution order.
 pub const ALL: &[&str] = &[
@@ -50,18 +50,32 @@ pub fn run(name: &str, fidelity: Fidelity) -> Report {
 ///
 /// Panics on an unknown name (the CLI validates first).
 pub fn run_jobs(name: &str, fidelity: Fidelity, jobs: usize) -> Report {
+    run_with(name, RunOpts::new(fidelity).jobs(jobs))
+}
+
+/// Runs one experiment by name with full execution options (fidelity,
+/// parallelism, warm-snapshot forking).
+///
+/// Every combination of options produces byte-identical output for a given
+/// fidelity — `jobs` and `snapshots` only change the wall clock.
+///
+/// # Panics
+///
+/// Panics on an unknown name (the CLI validates first).
+pub fn run_with(name: &str, opts: RunOpts) -> Report {
+    let fidelity = opts.fidelity;
     match name {
-        "fig1" => fig1::run(fidelity),
-        "table1" => table1::run_jobs(fidelity, jobs),
+        "fig1" => fig1::run_opts(opts),
+        "table1" => table1::run_opts(opts),
         "fig11" => fig11::run(fidelity),
         "fig12" => fig12::run(fidelity),
-        "fig13" => fig13::run(fidelity),
+        "fig13" => fig13::run_opts(opts),
         "fig14" => fig14::run(fidelity),
         "fig15" => fig15::run(fidelity),
         "fig16" => fig16::run(fidelity),
-        "table4" => table4::run_jobs(fidelity, jobs),
-        "ablations" => ablations::run(fidelity),
-        "mitigation" => mitigation::run(fidelity),
+        "table4" => table4::run_opts(opts),
+        "ablations" => ablations::run_opts(opts),
+        "mitigation" => mitigation::run_opts(opts),
         "model_check" => model_check::run(fidelity),
         other => panic!("unknown experiment {other:?}; known: {ALL:?}"),
     }

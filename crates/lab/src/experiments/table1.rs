@@ -9,7 +9,7 @@ use grunt::CampaignConfig;
 use microsim::PlatformProfile;
 
 use crate::report::fmt;
-use crate::{sweep, AttackRun, Fidelity, Report, Scenario};
+use crate::{sweep, AttackRun, Fidelity, Report, RunOpts, Scenario, WarmProfiled};
 
 /// One sweep cell: (label, platform, users, provisioned-for).
 pub type Setting = (String, PlatformProfile, usize, usize);
@@ -53,6 +53,17 @@ pub fn run_cell(
     baseline: simnet::SimDuration,
     attack: simnet::SimDuration,
 ) -> CellRows {
+    run_cell_opts(setting, baseline, attack, true)
+}
+
+/// [`run_cell`] with an explicit warm-snapshot switch (both paths produce
+/// byte-identical rows; see `tests/determinism.rs`).
+pub fn run_cell_opts(
+    setting: &Setting,
+    baseline: simnet::SimDuration,
+    attack: simnet::SimDuration,
+    snapshots: bool,
+) -> CellRows {
     let (label, platform, users, provision) = setting;
     let scenario = Scenario::social_network(
         label,
@@ -61,7 +72,17 @@ pub fn run_cell(
         *provision,
         0x7AB1 ^ *users as u64,
     );
-    let run = AttackRun::execute(&scenario, CampaignConfig::default(), baseline, attack);
+    let run = AttackRun::execute_opts(
+        &scenario,
+        CampaignConfig::default(),
+        baseline,
+        attack,
+        snapshots,
+    );
+    rows_for(label, &run)
+}
+
+fn rows_for(label: &str, run: &AttackRun) -> CellRows {
     let base = run.baseline_latency();
     let att = run.attack_latency();
     let net_b = run.network_mbps(run.baseline_window.0, run.baseline_window.1);
@@ -70,7 +91,7 @@ pub fn run_cell(
     let cpu_a = run.bottleneck_cpu(run.attack_window.0, run.attack_window.1);
     CellRows {
         row1: vec![
-            label.clone(),
+            label.to_string(),
             fmt(base.avg_ms, 0),
             fmt(att.avg_ms, 0),
             fmt(base.p95_ms, 0),
@@ -81,7 +102,7 @@ pub fn run_cell(
             fmt(cpu_a * 100.0, 0),
         ],
         row3: vec![
-            label.clone(),
+            label.to_string(),
             run.campaign.bots_used.to_string(),
             fmt(run.mean_pmb_ms(), 0),
             fmt(base.avg_ms, 0),
@@ -101,10 +122,21 @@ pub fn run_jobs(fidelity: Fidelity, jobs: usize) -> Report {
     report_for(&settings(), fidelity, jobs)
 }
 
+/// Runs the experiment with full execution options.
+pub fn run_opts(opts: RunOpts) -> Report {
+    report_for_opts(&settings(), opts)
+}
+
 /// Builds the Tables I & III report for an arbitrary settings slice —
 /// the determinism test runs a two-cell slice both serially and in
 /// parallel and compares the rendered reports byte for byte.
 pub fn report_for(settings: &[Setting], fidelity: Fidelity, jobs: usize) -> Report {
+    report_for_opts(settings, RunOpts::new(fidelity).jobs(jobs))
+}
+
+/// [`report_for`] with full execution options.
+pub fn report_for_opts(settings: &[Setting], opts: RunOpts) -> Report {
+    let fidelity = opts.fidelity;
     let baseline = fidelity.secs(120, 40);
     let attack = fidelity.secs(1_200, 180);
 
@@ -119,7 +151,9 @@ pub fn report_for(settings: &[Setting], fidelity: Fidelity, jobs: usize) -> Repo
         attack
     ));
 
-    let cells = sweep::map_cells(jobs, settings, |_, s| run_cell(s, baseline, attack));
+    let cells = sweep::map_cells(opts.jobs, settings, |_, s| {
+        run_cell_opts(s, baseline, attack, opts.snapshots)
+    });
     let mut rows1 = Vec::with_capacity(cells.len());
     let mut rows3 = Vec::with_capacity(cells.len());
     for cell in cells {
@@ -153,6 +187,97 @@ pub fn report_for(settings: &[Setting], fidelity: Fidelity, jobs: usize) -> Repo
             "Damage factor",
         ],
         rows3,
+    );
+    report
+}
+
+/// Damage-goal variants of the attack-parameter sweep slice.
+pub const PARAM_SWEEP_GOALS: [f64; 4] = [600.0, 800.0, 1_000.0, 1_200.0];
+
+/// The attack-parameter sweep the warm-fork subsystem exists for: one
+/// scenario (EC2-7K), one profiling run, four commander variants that
+/// differ only in the damage goal.
+///
+/// All four cells share an identical warm-up + baseline + profiling
+/// prefix. With `opts.snapshots` that prefix is simulated once and frozen
+/// as a [`WarmProfiled`]; each cell (on whichever worker thread claims it)
+/// forks the shared snapshot and simulates only its attack window. Without
+/// snapshots every cell re-simulates the prefix cold. Both paths emit
+/// byte-identical reports; `bench_kernel` times them and records the
+/// speedup in BENCH_kernel.json.
+pub fn param_sweep_report(opts: RunOpts) -> Report {
+    let fidelity = opts.fidelity;
+    let baseline = fidelity.secs(120, 40);
+    let attack = fidelity.secs(1_200, 180);
+    let (label, platform, users, provision) = &settings()[0];
+    let scenario = Scenario::social_network(
+        label,
+        platform.clone(),
+        *users,
+        *provision,
+        0x7AB1 ^ *users as u64,
+    );
+    let config = CampaignConfig::default();
+
+    let mut report = Report::new(
+        "table1_param_sweep",
+        "Table I slice — damage-goal sweep on EC2-7K",
+    );
+    report.paragraph(format!(
+        "One profiled EC2-7K deployment attacked with {} damage-goal variants \
+         ({} attack window each). Cells share the warm-up + baseline + profiling \
+         prefix, which warm-snapshot forking simulates exactly once.",
+        PARAM_SWEEP_GOALS.len(),
+        attack
+    ));
+
+    let row = |goal: f64, run: &AttackRun| {
+        let base = run.baseline_latency();
+        let att = run.attack_latency();
+        vec![
+            fmt(goal, 0),
+            run.campaign.bots_used.to_string(),
+            fmt(run.mean_pmb_ms(), 0),
+            fmt(base.avg_ms, 0),
+            fmt(att.avg_ms, 0),
+            fmt(att.avg_ms / base.avg_ms.max(1.0), 1),
+        ]
+    };
+    let rows: Vec<Vec<String>> = if opts.snapshots {
+        let warm = WarmProfiled::new(&scenario, config.profiler.clone(), baseline);
+        sweep::map_cells(opts.jobs, &PARAM_SWEEP_GOALS, |_, goal| {
+            let commander = grunt::CommanderConfig {
+                damage_goal_ms: *goal,
+                ..config.commander.clone()
+            };
+            row(*goal, &AttackRun::forked(&warm, commander, attack))
+        })
+    } else {
+        sweep::map_cells(opts.jobs, &PARAM_SWEEP_GOALS, |_, goal| {
+            let cell_config = CampaignConfig {
+                commander: grunt::CommanderConfig {
+                    damage_goal_ms: *goal,
+                    ..config.commander.clone()
+                },
+                ..config.clone()
+            };
+            row(
+                *goal,
+                &AttackRun::execute_opts(&scenario, cell_config, baseline, attack, false),
+            )
+        })
+    };
+
+    report.table(
+        &[
+            "Damage goal (ms)",
+            "Bots",
+            "P_MB (ms)",
+            "Avg RT base (ms)",
+            "Avg RT att (ms)",
+            "Damage factor",
+        ],
+        rows,
     );
     report
 }

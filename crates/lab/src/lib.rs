@@ -33,7 +33,50 @@ pub mod scenario;
 pub mod sweep;
 
 pub use report::Report;
-pub use scenario::{AttackRun, Scenario};
+pub use scenario::{AttackRun, Scenario, WarmBase, WarmProfiled};
+
+/// How to execute experiments: duration scaling, sweep parallelism, and
+/// whether sweep cells fork from shared warm snapshots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunOpts {
+    /// Duration scaling.
+    pub fidelity: Fidelity,
+    /// Max sweep cells in flight (see [`sweep::map_cells`]).
+    pub jobs: usize,
+    /// Fork cells from shared warm snapshots (default). Disabling
+    /// (`lab --no-snapshot`) re-simulates every cell's warm-up prefix
+    /// inline; output is byte-identical either way.
+    pub snapshots: bool,
+}
+
+impl RunOpts {
+    /// Serial, snapshot-forking run at the given fidelity.
+    pub fn new(fidelity: Fidelity) -> Self {
+        RunOpts {
+            fidelity,
+            jobs: 1,
+            snapshots: true,
+        }
+    }
+
+    /// Sets the worker count.
+    pub fn jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs;
+        self
+    }
+
+    /// Enables or disables warm-snapshot forking.
+    pub fn snapshots(mut self, on: bool) -> Self {
+        self.snapshots = on;
+        self
+    }
+}
+
+impl Default for RunOpts {
+    fn default() -> Self {
+        RunOpts::new(Fidelity::Full)
+    }
+}
 
 /// Controls experiment duration: `Full` uses paper-scale windows (20-minute
 /// attacks), `Fast` shrinks everything for smoke tests and benches.

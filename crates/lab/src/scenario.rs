@@ -3,8 +3,8 @@
 
 use apps::SocialNetwork;
 use callgraph::Topology;
-use grunt::{CampaignConfig, GruntCampaign};
-use microsim::{Metrics, PlatformProfile, SimConfig, Simulation};
+use grunt::{CampaignConfig, CommanderConfig, GruntCampaign, ProfilerConfig, ProfilerOutcome};
+use microsim::{Metrics, PlatformProfile, SimConfig, SimSnapshot, Simulation};
 use simnet::{SimDuration, SimTime};
 use telemetry::{LatencySummary, Traffic};
 use workload::{BrowsingModel, ClosedLoopUsers};
@@ -69,6 +69,104 @@ impl Scenario {
         )));
         sim
     }
+
+    /// Builds, warms up and measures the baseline window once, returning a
+    /// forkable [`WarmBase`]. See [`WarmBase::new`].
+    pub fn warm_base(&self, baseline: SimDuration) -> WarmBase {
+        WarmBase::new(self, baseline)
+    }
+}
+
+/// The standard warm-up every scenario runs before measuring anything.
+pub const WARMUP: SimDuration = SimDuration::from_secs(10);
+
+/// A scenario advanced through warm-up and its baseline window, frozen as
+/// a forkable snapshot.
+///
+/// Every cell of a sweep that shares the scenario and baseline length can
+/// fork from the same `WarmBase` instead of re-simulating the prefix. A
+/// forked run is bit-identical to a cold run that executed the same prefix
+/// inline, so sharing never changes results (asserted in
+/// `tests/determinism.rs`).
+#[derive(Debug, Clone)]
+pub struct WarmBase {
+    /// Scenario label.
+    pub label: String,
+    /// The frozen state at the end of the baseline window.
+    pub snapshot: SimSnapshot,
+    /// `[base_from, base_to)` interval for baseline measurements.
+    pub baseline_window: (SimTime, SimTime),
+}
+
+impl WarmBase {
+    /// Builds the scenario, runs the standard warm-up plus `baseline`, and
+    /// checkpoints. This is exactly the prefix [`AttackRun::execute`] runs
+    /// cold.
+    pub fn new(scenario: &Scenario, baseline: SimDuration) -> WarmBase {
+        let mut sim = scenario.build();
+        sim.run_until(SimTime::ZERO + WARMUP);
+        let base_from = sim.now();
+        sim.run_until(base_from + baseline);
+        let base_to = sim.now();
+        let snapshot = sim
+            .checkpoint()
+            .expect("scenario agents support snapshotting");
+        WarmBase {
+            label: scenario.label.clone(),
+            snapshot,
+            baseline_window: (base_from, base_to),
+        }
+    }
+
+    /// Forks a live simulation resuming at the end of the baseline window.
+    pub fn fork(&self) -> Simulation {
+        Simulation::from_snapshot(&self.snapshot)
+    }
+
+    /// Runs the Grunt profiling phase once on a fork of this base and
+    /// freezes the profiled state, ready to fork per attack variant.
+    pub fn profiled(&self, profiler: ProfilerConfig) -> WarmProfiled {
+        let mut sim = self.fork();
+        let profile = GruntCampaign::profile(&mut sim, profiler);
+        let snapshot = sim
+            .checkpoint()
+            .expect("profiled agents support snapshotting");
+        WarmProfiled {
+            label: self.label.clone(),
+            snapshot,
+            baseline_window: self.baseline_window,
+            profile,
+        }
+    }
+}
+
+/// A scenario profiled by Grunt: warm-up, baseline *and* the whole
+/// profiling phase are simulated once; each attack variant forks from
+/// here. This is the dominant saving for attack-parameter sweeps, where
+/// cells differ only in [`CommanderConfig`].
+#[derive(Debug, Clone)]
+pub struct WarmProfiled {
+    /// Scenario label.
+    pub label: String,
+    /// The frozen state at the instant profiling finished.
+    pub snapshot: SimSnapshot,
+    /// `[base_from, base_to)` interval for baseline measurements.
+    pub baseline_window: (SimTime, SimTime),
+    /// What the profiler learned.
+    pub profile: ProfilerOutcome,
+}
+
+impl WarmProfiled {
+    /// Warm-up + baseline + profiling in one go. Equivalent to
+    /// `scenario.warm_base(baseline).profiled(profiler)`.
+    pub fn new(scenario: &Scenario, profiler: ProfilerConfig, baseline: SimDuration) -> Self {
+        WarmBase::new(scenario, baseline).profiled(profiler)
+    }
+
+    /// Forks a live simulation resuming at the instant profiling finished.
+    pub fn fork(&self) -> Simulation {
+        Simulation::from_snapshot(&self.snapshot)
+    }
 }
 
 /// Results of one baseline+attack run.
@@ -91,17 +189,38 @@ pub struct AttackRun {
 
 impl AttackRun {
     /// Runs warm-up, baseline measurement, Grunt profiling and the attack
-    /// window.
+    /// window, forking from a warm snapshot by default (byte-identical to
+    /// the cold path; see [`AttackRun::execute_opts`]).
     pub fn execute(
         scenario: &Scenario,
         config: CampaignConfig,
         baseline: SimDuration,
         attack: SimDuration,
     ) -> AttackRun {
+        Self::execute_opts(scenario, config, baseline, attack, true)
+    }
+
+    /// [`AttackRun::execute`] with an explicit snapshot switch.
+    ///
+    /// With `snapshots` the prefix (warm-up, baseline, profiling) runs via
+    /// [`WarmProfiled`] and the attack runs on a fork; without, everything
+    /// runs inline on one simulation (`lab --no-snapshot`, for debugging
+    /// the snapshot path itself). Both paths produce byte-identical
+    /// results — `tests/determinism.rs` asserts it.
+    pub fn execute_opts(
+        scenario: &Scenario,
+        config: CampaignConfig,
+        baseline: SimDuration,
+        attack: SimDuration,
+        snapshots: bool,
+    ) -> AttackRun {
+        if snapshots {
+            let warm = WarmProfiled::new(scenario, config.profiler, baseline);
+            return Self::forked(&warm, config.commander, attack);
+        }
         let pacing = config.commander.burst_length;
         let mut sim = scenario.build();
-        let warmup = SimDuration::from_secs(10);
-        sim.run_until(SimTime::ZERO + warmup);
+        sim.run_until(SimTime::ZERO + WARMUP);
         let base_from = sim.now();
         sim.run_until(base_from + baseline);
         let base_to = sim.now();
@@ -116,6 +235,29 @@ impl AttackRun {
             sim,
             campaign,
             baseline_window: (base_from, base_to),
+            attack_window,
+            pacing,
+        }
+    }
+
+    /// Forks the profiled warm state and runs just the attack window with
+    /// the given commander variant — the per-cell step of an
+    /// attack-parameter sweep.
+    pub fn forked(warm: &WarmProfiled, commander: CommanderConfig, attack: SimDuration) -> Self {
+        let pacing = commander.burst_length;
+        let mut sim = warm.fork();
+        let campaign =
+            GruntCampaign::attack_with(&mut sim, warm.profile.clone(), commander, attack);
+        let ramp = SimDuration::from_secs(20).min(attack / 4);
+        let attack_window = (
+            campaign.attack_started + ramp,
+            campaign.attack_started + attack,
+        );
+        AttackRun {
+            label: warm.label.clone(),
+            sim,
+            campaign,
+            baseline_window: warm.baseline_window,
             attack_window,
             pacing,
         }

@@ -86,11 +86,29 @@ pub fn default_jobs() -> usize {
         .unwrap_or(1)
 }
 
-/// A reasonable `--jobs auto` value: the machine's available parallelism.
+/// A reasonable `--jobs auto` value: the machine's available parallelism,
+/// with an explicit serial fallback on single-CPU hosts — see
+/// [`auto_jobs_with`].
 pub fn auto_jobs() -> usize {
-    std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1)
+    auto_jobs_with(
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1),
+    )
+}
+
+/// [`auto_jobs`] for a host with `available` CPUs (pure, for testing).
+///
+/// With a single CPU, worker threads cannot actually run concurrently and
+/// only add spawn/channel/scheduling overhead on top of the serial work —
+/// BENCH_kernel.json records the two-cell table1 slice at no speedup with
+/// `--jobs 2` on a 1-CPU host — so `auto` picks the plain in-order loop.
+pub fn auto_jobs_with(available: usize) -> usize {
+    if available <= 1 {
+        1
+    } else {
+        available
+    }
 }
 
 #[cfg(test)]
@@ -124,6 +142,15 @@ mod tests {
             *c
         });
         assert_eq!(out, cells);
+    }
+
+    #[test]
+    fn auto_jobs_falls_back_to_serial_on_one_cpu() {
+        assert_eq!(auto_jobs_with(0), 1);
+        assert_eq!(auto_jobs_with(1), 1);
+        assert_eq!(auto_jobs_with(2), 2);
+        assert_eq!(auto_jobs_with(16), 16);
+        assert!(auto_jobs() >= 1);
     }
 
     #[test]

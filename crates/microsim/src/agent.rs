@@ -14,6 +14,7 @@ use callgraph::RequestTypeId;
 
 use crate::job::{Origin, Response};
 use crate::kernel::Kernel;
+use crate::snapshot::AgentState;
 
 /// Identifier of a registered agent.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
@@ -48,6 +49,16 @@ pub trait Agent: Any {
     /// Called when a submitted request completes.
     fn on_response(&mut self, ctx: &mut SimCtx<'_>, response: &Response) {
         let _ = (ctx, response);
+    }
+
+    /// Captures this agent's state for
+    /// [`Simulation::checkpoint`](crate::Simulation::checkpoint).
+    ///
+    /// The default returns `None` (not snapshotable), which makes
+    /// `checkpoint` fail with the agent's index. `Clone` agents opt in with
+    /// a one-liner: `Some(AgentState::of(self))`.
+    fn snapshot(&self) -> Option<AgentState> {
+        None
     }
 }
 

@@ -11,7 +11,7 @@ use crate::agent::{Agent, SimCtx};
 use crate::job::{Origin, Response};
 
 /// Submits exactly one request at simulation start and records its latency.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct OneShot {
     request_type: RequestTypeId,
     origin: Origin,
@@ -48,11 +48,15 @@ impl Agent for OneShot {
     fn on_response(&mut self, _ctx: &mut SimCtx<'_>, response: &Response) {
         self.latency_ms = Some(response.latency_ms());
     }
+
+    fn snapshot(&self) -> Option<crate::AgentState> {
+        Some(crate::AgentState::of(self))
+    }
 }
 
 /// Submits requests of one type at a fixed deterministic rate (equal
 /// spacing) and collects latencies — a minimal open-loop source.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct FixedRate {
     request_type: RequestTypeId,
     interval: SimDuration,
@@ -118,6 +122,10 @@ impl Agent for FixedRate {
 
     fn on_response(&mut self, _ctx: &mut SimCtx<'_>, response: &Response) {
         self.latencies_ms.push(response.latency_ms());
+    }
+
+    fn snapshot(&self) -> Option<crate::AgentState> {
+        Some(crate::AgentState::of(self))
     }
 }
 

@@ -97,7 +97,7 @@ pub(crate) struct Frame {
 }
 
 /// An in-flight request walking its execution path.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub(crate) struct Job {
     /// Submitting agent, to deliver the [`Response`].
     pub agent: AgentId,

@@ -5,6 +5,8 @@
 //! across synchronous RPC, FIFO CPU queues per replica), samples metrics on
 //! a fixed window, and runs the auto-scaler on 1 s boundaries.
 
+use std::sync::Arc;
+
 use callgraph::{ExecutionHistory, RequestTypeId, ServiceId, Topology};
 use simnet::{EventQueue, RngStream, SimDuration, SimTime};
 
@@ -52,12 +54,25 @@ pub(crate) enum PumpResult {
     Idle,
 }
 
+/// Standard-normal draws buffered per refill for service-demand sampling.
+///
+/// Small enough to live in one cache line pair; large enough that the
+/// per-refill overhead is amortised over many job stages.
+const DEMAND_Z_BATCH: usize = 32;
+
 /// The platform state. Owned by [`Simulation`](crate::Simulation); agents
 /// reach it through [`SimCtx`](crate::SimCtx).
+///
+/// `Clone` performs a deep copy of all mutable state (event queue, replicas,
+/// in-flight jobs, metric windows, RNG streams) while the immutable parts —
+/// topology, execution paths, config — are shared via `Arc`. A clone is
+/// therefore an exact fork: running the original and the clone with the same
+/// inputs produces bit-identical histories.
+#[derive(Clone)]
 pub struct Kernel {
-    topology: Topology,
-    paths: Vec<callgraph::ExecutionPath>,
-    cfg: SimConfig,
+    topology: Arc<Topology>,
+    paths: Arc<Vec<callgraph::ExecutionPath>>,
+    cfg: Arc<SimConfig>,
     now: SimTime,
     queue: EventQueue<Event>,
     services: Vec<Service>,
@@ -65,6 +80,10 @@ pub struct Kernel {
     free_jobs: Vec<usize>,
     metrics: Metrics,
     demand_rng: RngStream,
+    /// Buffered standard-normal draws for demand sampling, consumed in draw
+    /// order; see [`Kernel::next_demand_z`].
+    demand_z: [f64; DEMAND_Z_BATCH],
+    demand_z_next: usize,
     trace_rng: RngStream,
     next_token: u64,
     /// Responses produced during event handling, drained by the run loop
@@ -102,10 +121,12 @@ impl Kernel {
         Kernel {
             metrics: Metrics::new(cfg.window, n),
             demand_rng: RngStream::from_label(cfg.seed, "kernel/demand"),
+            demand_z: [0.0; DEMAND_Z_BATCH],
+            demand_z_next: DEMAND_Z_BATCH,
             trace_rng: RngStream::from_label(cfg.seed, "kernel/trace"),
-            topology,
-            paths,
-            cfg,
+            topology: Arc::new(topology),
+            paths: Arc::new(paths),
+            cfg: Arc::new(cfg),
             now,
             queue,
             services,
@@ -299,7 +320,18 @@ impl Kernel {
             * self.cfg.platform.demand_scale
             * if is_leaf { 1.0 } else { 0.5 };
         let cv = self.services[sidx].spec.demand_cv;
-        let duration = SimDuration::from_secs_f64(self.demand_rng.lognormal_mean_cv(mean, cv));
+        // Same draw discipline as `RngStream::lognormal_mean_cv`: a normal
+        // draw is consumed only when the distribution is non-degenerate, so
+        // the batched buffer reproduces per-call sampling bit-for-bit.
+        let secs = if mean > 0.0 && cv > 0.0 {
+            let z = self.next_demand_z();
+            simnet::lognormal_mean_cv_from_z(mean, cv, z)
+        } else if mean > 0.0 {
+            mean
+        } else {
+            0.0
+        };
+        let duration = SimDuration::from_secs_f64(secs);
         // A leaf spends its whole demand in Pre; intermediate steps split
         // half before the downstream call, half after the reply.
         let seg = Segment {
@@ -321,6 +353,22 @@ impl Kernel {
                 },
             );
         }
+    }
+
+    /// Next buffered standard-normal draw for demand jitter, refilling the
+    /// batch from `demand_rng` when exhausted.
+    ///
+    /// Nothing else draws from `demand_rng`, so prefetching a batch yields
+    /// exactly the sequence per-call sampling would have seen.
+    #[inline]
+    fn next_demand_z(&mut self) -> f64 {
+        if self.demand_z_next == DEMAND_Z_BATCH {
+            self.demand_rng.fill_standard_normal(&mut self.demand_z);
+            self.demand_z_next = 0;
+        }
+        let z = self.demand_z[self.demand_z_next];
+        self.demand_z_next += 1;
+        z
     }
 
     fn handle_compute_done(
@@ -567,5 +615,17 @@ impl Kernel {
     /// Consumes the kernel, returning the recorded metrics.
     pub(crate) fn into_metrics(self) -> Metrics {
         self.metrics
+    }
+
+    /// Number of events pending in the calendar (snapshot-equivalence
+    /// checks).
+    pub(crate) fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Fingerprints of the kernel's RNG streams (demand, trace) without
+    /// advancing them.
+    pub(crate) fn rng_fingerprint(&self) -> (u64, u64) {
+        (self.demand_rng.fingerprint(), self.trace_rng.fingerprint())
     }
 }

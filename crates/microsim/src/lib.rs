@@ -66,6 +66,7 @@ pub mod metrics;
 pub mod replica;
 pub mod service;
 pub mod sim;
+pub mod snapshot;
 
 pub use agent::{Agent, AgentId, SimCtx};
 pub use autoscale::{AutoScalePolicy, ScalingAction, ScalingDirection};
@@ -73,3 +74,4 @@ pub use config::{PlatformProfile, SimConfig};
 pub use job::{Origin, Response};
 pub use metrics::{AccessLogEntry, Metrics, RequestRecord, ServiceWindow};
 pub use sim::Simulation;
+pub use snapshot::{AgentState, SimSnapshot, Snapshot, SnapshotError};

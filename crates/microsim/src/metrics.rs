@@ -99,7 +99,7 @@ impl NetworkWindow {
 }
 
 /// Everything recorded during a simulation run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Metrics {
     window: SimDuration,
     num_services: usize,

@@ -24,7 +24,7 @@ pub(crate) struct Segment {
 ///   outstanding — this produces cross-tier queue overflow;
 /// * the **CPU** (`cores` cores): admitted requests' compute segments run
 ///   FIFO on the cores; saturation here is a millibottleneck.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub(crate) struct Replica {
     /// Worker-thread slots.
     pub threads: u32,

@@ -6,7 +6,7 @@ use simnet::SimTime;
 use crate::replica::Replica;
 
 /// Runtime state of one microservice.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub(crate) struct Service {
     pub spec: ServiceSpec,
     pub replicas: Vec<Replica>,

@@ -7,6 +7,7 @@ use crate::agent::{Agent, AgentId, SimCtx};
 use crate::config::SimConfig;
 use crate::kernel::Kernel;
 use crate::metrics::Metrics;
+use crate::snapshot::{SimSnapshot, SnapshotError};
 
 /// A runnable microservice-platform simulation.
 ///
@@ -122,6 +123,57 @@ impl Simulation {
             }
             self.outbox_scratch = batch;
         }
+    }
+
+    /// Captures the complete live state of the simulation — kernel and all
+    /// registered agents — into a cheaply cloneable [`SimSnapshot`].
+    ///
+    /// A simulation forked from the snapshot with
+    /// [`Simulation::from_snapshot`] replays the future **bit-identically**
+    /// to this one: same events, same RNG draws, same metrics.
+    ///
+    /// # Errors
+    ///
+    /// Fails if any registered agent does not support snapshotting (its
+    /// [`Agent::snapshot`] returns `None`), naming the agent's index.
+    pub fn checkpoint(&self) -> Result<SimSnapshot, SnapshotError> {
+        let mut agents = Vec::with_capacity(self.agents.len());
+        for (index, slot) in self.agents.iter().enumerate() {
+            let agent = slot.as_ref().expect("checkpoint during agent callback");
+            match agent.snapshot() {
+                Some(state) => agents.push(state),
+                None => return Err(SnapshotError::UnsupportedAgent { index }),
+            }
+        }
+        Ok(SimSnapshot {
+            kernel: self.kernel.clone(),
+            agents,
+            started: self.started.clone(),
+        })
+    }
+
+    /// Forks a new simulation from `snapshot`, resuming at the snapshot's
+    /// simulated time. The snapshot is borrowed and can be forked again.
+    pub fn from_snapshot(snapshot: &SimSnapshot) -> Simulation {
+        Simulation {
+            kernel: snapshot.kernel.clone(),
+            agents: snapshot.agents.iter().map(|s| Some(s.restore())).collect(),
+            started: snapshot.started.clone(),
+            outbox_scratch: Vec::new(),
+        }
+    }
+
+    /// Number of events pending in the calendar (used by the
+    /// snapshot-equivalence tests).
+    pub fn pending_events(&self) -> usize {
+        self.kernel.pending_events()
+    }
+
+    /// Fingerprints of the kernel's internal RNG streams (demand, trace),
+    /// without advancing them. Equal fingerprints mean the streams will
+    /// produce identical draw sequences.
+    pub fn rng_fingerprint(&self) -> (u64, u64) {
+        self.kernel.rng_fingerprint()
     }
 
     /// Finishes the run and takes the metrics out.

@@ -1,0 +1,165 @@
+//! Warm-state checkpointing: capture a running simulation and fork it.
+//!
+//! A [`SimSnapshot`] freezes *everything* that determines the future of a
+//! simulation — the kernel (event calendar with its `(time, seq)` counter,
+//! replicas, thread-pool occupancy, in-flight jobs and spans, metric
+//! windows, RNG streams) and the state of every registered agent. Forking a
+//! snapshot yields a [`Simulation`](crate::Simulation) whose subsequent
+//! history is **bit-identical** to the original's: snapshots are exact deep
+//! copies of the mutable state, while the large immutable parts (topology,
+//! execution paths, config) are shared via `Arc`, so cloning a snapshot per
+//! sweep cell — or per worker thread — is cheap.
+//!
+//! Agents participate through [`Snapshot`], which any `Clone` agent gets
+//! for free, plus a one-line [`Agent::snapshot`](crate::Agent::snapshot)
+//! override that makes the capability visible through `dyn Agent`:
+//!
+//! ```
+//! use microsim::{Agent, AgentState, SimCtx};
+//!
+//! #[derive(Clone)]
+//! struct Probe {
+//!     fired: u64,
+//! }
+//!
+//! impl Agent for Probe {
+//!     fn start(&mut self, _ctx: &mut SimCtx<'_>) {}
+//!     fn snapshot(&self) -> Option<AgentState> {
+//!         Some(AgentState::of(self))
+//!     }
+//! }
+//! ```
+
+use std::fmt;
+
+use crate::agent::Agent;
+use crate::kernel::Kernel;
+
+/// Implemented by agents whose live state can be captured into a
+/// [`SimSnapshot`] and restored in a fork.
+///
+/// Blanket-implemented for every agent that is `Clone + Send + Sync`; the
+/// captured state is simply a clone, which is exact by construction. Agents
+/// must *also* override [`Agent::snapshot`](crate::Agent::snapshot) (the
+/// object-safe hook `Simulation::checkpoint` discovers the capability
+/// through) to return `Some(Snapshot::snapshot(self))`.
+pub trait Snapshot: Agent + Clone + Send + Sync + Sized {
+    /// Captures this agent's current state.
+    fn snapshot(&self) -> AgentState {
+        AgentState::of(self)
+    }
+
+    /// Rebuilds a live boxed agent from a captured state.
+    fn restore(state: &AgentState) -> Box<dyn Agent> {
+        state.restore()
+    }
+}
+
+impl<A: Agent + Clone + Send + Sync> Snapshot for A {}
+
+/// The captured state of one agent: a type-erased, cloneable box that can
+/// be turned back into a live `Box<dyn Agent>`.
+pub struct AgentState(Box<dyn ErasedAgentState>);
+
+impl AgentState {
+    /// Captures `agent` by cloning it behind a type-erased box.
+    pub fn of<A: Agent + Clone + Send + Sync>(agent: &A) -> AgentState {
+        AgentState(Box::new(CloneState(agent.clone())))
+    }
+
+    /// Rebuilds a live boxed agent from this state.
+    pub(crate) fn restore(&self) -> Box<dyn Agent> {
+        self.0.clone_box().into_agent()
+    }
+}
+
+impl Clone for AgentState {
+    fn clone(&self) -> Self {
+        AgentState(self.0.clone_box())
+    }
+}
+
+impl fmt::Debug for AgentState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("AgentState(..)")
+    }
+}
+
+trait ErasedAgentState: Send + Sync {
+    fn clone_box(&self) -> Box<dyn ErasedAgentState>;
+    fn into_agent(self: Box<Self>) -> Box<dyn Agent>;
+}
+
+struct CloneState<A>(A);
+
+impl<A: Agent + Clone + Send + Sync> ErasedAgentState for CloneState<A> {
+    fn clone_box(&self) -> Box<dyn ErasedAgentState> {
+        Box::new(CloneState(self.0.clone()))
+    }
+
+    fn into_agent(self: Box<Self>) -> Box<dyn Agent> {
+        Box::new(self.0)
+    }
+}
+
+/// A frozen simulation, captured by
+/// [`Simulation::checkpoint`](crate::Simulation::checkpoint) and forked by
+/// [`Simulation::from_snapshot`](crate::Simulation::from_snapshot).
+///
+/// Cloning is cheap relative to re-running the simulated time it encodes:
+/// the topology, execution paths, and config are `Arc`-shared, so a clone
+/// copies only the live mutable state. `SimSnapshot` is `Send + Sync`, so a
+/// sweep can hold one behind an `Arc` and let each worker thread fork its
+/// own cells.
+#[derive(Clone)]
+pub struct SimSnapshot {
+    pub(crate) kernel: Kernel,
+    pub(crate) agents: Vec<AgentState>,
+    pub(crate) started: Vec<bool>,
+}
+
+impl SimSnapshot {
+    /// The simulated time at which this snapshot was taken.
+    pub fn taken_at(&self) -> simnet::SimTime {
+        self.kernel.now()
+    }
+
+    /// Number of agents captured in this snapshot.
+    pub fn num_agents(&self) -> usize {
+        self.agents.len()
+    }
+}
+
+impl fmt::Debug for SimSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SimSnapshot")
+            .field("taken_at", &self.kernel.now())
+            .field("agents", &self.agents.len())
+            .finish()
+    }
+}
+
+/// Why a checkpoint could not be taken.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The agent registered at `index` does not support snapshotting (its
+    /// [`Agent::snapshot`](crate::Agent::snapshot) returned `None`).
+    UnsupportedAgent {
+        /// Registration index of the offending agent.
+        index: usize,
+    },
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::UnsupportedAgent { index } => write!(
+                f,
+                "agent #{index} does not support snapshotting \
+                 (Agent::snapshot returned None)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}

@@ -1,0 +1,177 @@
+//! Property-based tests of snapshot/fork equivalence: for random
+//! topologies and agent mixes, `checkpoint → fork → run_until(T)` must
+//! match an uninterrupted `run_until(T)` on every recorded metric, the
+//! pending event count, and the final RNG stream positions.
+
+use callgraph::{RequestTypeId, ServiceSpec, Topology, TopologyBuilder};
+use microsim::agents::FixedRate;
+use microsim::{SimConfig, Simulation};
+use proptest::prelude::*;
+use simnet::{SimDuration, SimTime};
+use workload::{BrowsingModel, ClosedLoopUsers};
+
+/// A random small application: 2-5 services, 1-3 chain request types.
+#[derive(Debug, Clone)]
+struct RandomApp {
+    services: Vec<(u32, u32)>,      // (threads, cores)
+    chains: Vec<Vec<(usize, u64)>>, // (service index, demand ms)
+}
+
+fn app_strategy() -> impl Strategy<Value = RandomApp> {
+    let services = prop::collection::vec((1u32..48, 1u32..4), 2..6);
+    services.prop_flat_map(|services| {
+        let n = services.len();
+        let chain = prop::collection::vec((0..n, 1u64..12), 1..4).prop_map(move |raw| {
+            // Visit each service at most once per chain.
+            let mut seen = std::collections::HashSet::new();
+            raw.into_iter()
+                .filter(|(s, _)| seen.insert(*s))
+                .collect::<Vec<_>>()
+        });
+        let chains = prop::collection::vec(chain, 1..4);
+        (Just(services), chains).prop_map(|(services, chains)| RandomApp {
+            services,
+            chains: chains.into_iter().filter(|c| !c.is_empty()).collect(),
+        })
+    })
+}
+
+fn build(app: &RandomApp) -> Option<Topology> {
+    if app.chains.is_empty() {
+        return None;
+    }
+    let mut b = TopologyBuilder::new();
+    let ids: Vec<_> = app
+        .services
+        .iter()
+        .enumerate()
+        .map(|(i, (threads, cores))| {
+            b.add_service(
+                ServiceSpec::new(format!("s{i}"))
+                    .threads(*threads)
+                    .cores(*cores)
+                    .demand_cv(0.2),
+            )
+        })
+        .collect();
+    for (i, chain) in app.chains.iter().enumerate() {
+        b.add_request_type(
+            format!("r{i}"),
+            chain
+                .iter()
+                .map(|(s, d)| (ids[*s], SimDuration::from_millis(*d)))
+                .collect(),
+        );
+    }
+    Some(b.build())
+}
+
+/// A random agent mix to register on the simulation: a closed-loop user
+/// population plus one `FixedRate` source per request type subset.
+#[derive(Debug, Clone)]
+struct AgentMix {
+    users: usize,
+    fixed_sources: Vec<(u64, u64)>, // (interval ms, count) per request type
+}
+
+fn mix_strategy() -> impl Strategy<Value = AgentMix> {
+    (
+        1usize..30,
+        prop::collection::vec((5u64..40, 10u64..60), 0..3),
+    )
+        .prop_map(|(users, fixed_sources)| AgentMix {
+            users,
+            fixed_sources,
+        })
+}
+
+fn populate(sim: &mut Simulation, topo: &Topology, mix: &AgentMix, seed: u64) {
+    let types: Vec<RequestTypeId> = (0..topo.num_request_types())
+        .map(|t| RequestTypeId::new(t as u32))
+        .collect();
+    sim.add_agent(Box::new(ClosedLoopUsers::new(
+        mix.users,
+        BrowsingModel::uniform(types.iter().copied()),
+        seed ^ 0x5EED,
+    )));
+    for (i, (interval, count)) in mix.fixed_sources.iter().enumerate() {
+        sim.add_agent(Box::new(FixedRate::new(
+            types[i % types.len()],
+            SimDuration::from_millis(*interval),
+            *count,
+        )));
+    }
+}
+
+/// Everything we compare between the forked and the uninterrupted run.
+fn observe(sim: &Simulation) -> (usize, (u64, u64), Vec<(u64, u64)>) {
+    (
+        sim.pending_events(),
+        sim.rng_fingerprint(),
+        sim.metrics()
+            .request_log()
+            .iter()
+            .map(|r| (r.submitted_at.as_micros(), r.completed_at.as_micros()))
+            .collect(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// `checkpoint` at T1, fork, run both to T2: the fork and the original
+    /// must stay in lockstep on metrics, event counts and RNG positions.
+    #[test]
+    fn fork_matches_uninterrupted_run(
+        app in app_strategy(),
+        mix in mix_strategy(),
+        seed in any::<u64>(),
+        t1_s in 1u64..8,
+    ) {
+        let Some(topo) = build(&app) else { return Ok(()); };
+        let mut sim = Simulation::new(topo.clone(), SimConfig::default().seed(seed));
+        populate(&mut sim, &topo, &mix, seed);
+
+        let t1 = SimTime::from_secs(t1_s);
+        let t2 = t1 + SimDuration::from_secs(10);
+        sim.run_until(t1);
+        let snapshot = sim.checkpoint().expect("test agents support snapshotting");
+        let mut fork = Simulation::from_snapshot(&snapshot);
+
+        // The snapshot froze the exact live state.
+        prop_assert_eq!(fork.now(), sim.now());
+        prop_assert_eq!(fork.pending_events(), sim.pending_events());
+        prop_assert_eq!(fork.rng_fingerprint(), sim.rng_fingerprint());
+        prop_assert_eq!(fork.metrics(), sim.metrics());
+
+        // ...and both continuations stay in lockstep.
+        sim.run_until(t2);
+        fork.run_until(t2);
+        prop_assert_eq!(observe(&fork), observe(&sim));
+        prop_assert_eq!(fork.metrics(), sim.metrics());
+    }
+
+    /// The snapshot is immutable: running one fork does not disturb a
+    /// sibling forked from the same snapshot later.
+    #[test]
+    fn sibling_forks_are_independent(
+        app in app_strategy(),
+        mix in mix_strategy(),
+        seed in any::<u64>(),
+    ) {
+        let Some(topo) = build(&app) else { return Ok(()); };
+        let mut sim = Simulation::new(topo.clone(), SimConfig::default().seed(seed));
+        populate(&mut sim, &topo, &mix, seed);
+        sim.run_until(SimTime::from_secs(3));
+        let snapshot = sim.checkpoint().expect("test agents support snapshotting");
+        drop(sim);
+
+        let t2 = SimTime::from_secs(9);
+        let mut first = Simulation::from_snapshot(&snapshot);
+        first.run_until(t2);
+        let mut second = Simulation::from_snapshot(&snapshot);
+        second.run_until(t2);
+        prop_assert_eq!(observe(&first), observe(&second));
+        prop_assert_eq!(first.metrics(), second.metrics());
+    }
+}

@@ -48,7 +48,7 @@ const LEVELS: usize = 6;
 /// assert_eq!(q.pop().unwrap().1, "later");
 /// assert!(q.pop().is_none());
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct EventQueue<E> {
     /// `LEVELS * SLOTS` buckets, flattened; bucket `level * SLOTS + slot`
     /// holds events whose level-`level` time digit is `slot`.
@@ -70,7 +70,7 @@ pub struct EventQueue<E> {
     len: usize,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Entry<E> {
     time: SimTime,
     seq: u64,
@@ -260,13 +260,13 @@ impl<E> Default for EventQueue<E> {
 /// `tests/properties.rs` drive it and [`EventQueue`] with identical
 /// push/pop programs and assert bit-identical pop sequences, and the
 /// benches in `crates/bench` use it as the before/after baseline.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct HeapEventQueue<E> {
     heap: BinaryHeap<HeapEntry<E>>,
     next_seq: u64,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct HeapEntry<E> {
     time: SimTime,
     seq: u64,
@@ -434,6 +434,31 @@ mod tests {
         assert_eq!(q.pop().unwrap().1, "past");
         assert_eq!(q.pop().unwrap().1, "past-second");
         assert_eq!(q.pop().unwrap().1, "future");
+    }
+
+    #[test]
+    fn cloned_queue_replays_identically() {
+        let mut q = EventQueue::new();
+        let mut t = 3u64;
+        for i in 0..500u64 {
+            t = t.wrapping_mul(2_862_933_555_777_941_757).wrapping_add(i) % 90_000_000;
+            q.push(SimTime::from_micros(t), i);
+        }
+        for _ in 0..120 {
+            q.pop();
+        }
+        // A clone taken mid-stream must drain identically to the original,
+        // including the seq counter for subsequent same-time pushes.
+        let mut fork = q.clone();
+        q.push(SimTime::from_micros(50), 9_999);
+        fork.push(SimTime::from_micros(50), 9_999);
+        loop {
+            let (a, b) = (q.pop(), fork.pop());
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
     }
 
     #[test]

@@ -36,6 +36,6 @@ pub mod stats;
 pub mod time;
 
 pub use event::{EventQueue, HeapEventQueue};
-pub use rng::{derive_seed, RngStream};
+pub use rng::{derive_seed, lognormal_mean_cv_from_z, RngStream};
 pub use stats::{Histogram, SampleSet, Welford};
 pub use time::{SimDuration, SimTime};

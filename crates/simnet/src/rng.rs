@@ -127,10 +127,8 @@ impl RngStream {
         if cv <= 0.0 {
             return mean;
         }
-        let sigma2 = (1.0 + cv * cv).ln();
-        let mu = mean.ln() - sigma2 / 2.0;
         let z = self.standard_normal();
-        (mu + sigma2.sqrt() * z).exp()
+        lognormal_mean_cv_from_z(mean, cv, z)
     }
 
     /// A standard normal draw (Box–Muller).
@@ -138,6 +136,18 @@ impl RngStream {
         let u1 = self.unit().max(1e-12);
         let u2 = self.unit();
         (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+
+    /// Fills `buf` with standard normal draws.
+    ///
+    /// Draws exactly `2 * buf.len()` uniforms in the same order as
+    /// `buf.len()` calls to [`standard_normal`](Self::standard_normal), so
+    /// batched and per-call consumers of the same stream see bit-identical
+    /// sequences.
+    pub fn fill_standard_normal(&mut self, buf: &mut [f64]) {
+        for z in buf.iter_mut() {
+            *z = self.standard_normal();
+        }
     }
 
     /// Draws an index with probability proportional to `weights[i]`.
@@ -177,6 +187,33 @@ impl RngStream {
     pub fn next_seed(&mut self) -> u64 {
         self.inner.next_u64()
     }
+
+    /// A fingerprint of the stream's current position, without advancing it.
+    ///
+    /// Two streams with equal fingerprints will produce identical draw
+    /// sequences; used by the snapshot tests to compare RNG state.
+    pub fn fingerprint(&self) -> u64 {
+        self.inner.clone().next_u64()
+    }
+}
+
+/// Maps a standard normal draw `z` onto the lognormal with the given `mean`
+/// and coefficient of variation.
+///
+/// This is the deterministic tail of [`RngStream::lognormal_mean_cv`]; it is
+/// exposed so hot paths can batch the normal draws (see
+/// [`RngStream::fill_standard_normal`]) and apply the per-call parameters
+/// later.
+pub fn lognormal_mean_cv_from_z(mean: f64, cv: f64, z: f64) -> f64 {
+    if mean <= 0.0 {
+        return 0.0;
+    }
+    if cv <= 0.0 {
+        return mean;
+    }
+    let sigma2 = (1.0 + cv * cv).ln();
+    let mu = mean.ln() - sigma2 / 2.0;
+    (mu + sigma2.sqrt() * z).exp()
 }
 
 #[cfg(test)]
@@ -228,6 +265,36 @@ mod tests {
     fn lognormal_zero_cv_is_constant() {
         let mut rng = RngStream::from_label(4, "lncv0");
         assert_eq!(rng.lognormal_mean_cv(5.0, 0.0), 5.0);
+    }
+
+    #[test]
+    fn batched_normals_match_per_call_sequence() {
+        let mut a = RngStream::from_label(11, "batch");
+        let mut b = RngStream::from_label(11, "batch");
+        let mut buf = [0.0f64; 16];
+        a.fill_standard_normal(&mut buf);
+        for z in buf {
+            assert_eq!(z.to_bits(), b.standard_normal().to_bits());
+        }
+        // The lognormal split must also reproduce the fused draw exactly.
+        let (mean, cv) = (3.25, 0.4);
+        let direct = a.lognormal_mean_cv(mean, cv);
+        let via_z = lognormal_mean_cv_from_z(mean, cv, b.standard_normal());
+        assert_eq!(direct.to_bits(), via_z.to_bits());
+    }
+
+    #[test]
+    fn fingerprint_tracks_stream_position() {
+        let mut a = RngStream::from_label(12, "fp");
+        let b = RngStream::from_label(12, "fp");
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        let before = a.fingerprint();
+        a.unit();
+        assert_ne!(a.fingerprint(), before);
+        // Fingerprinting itself must not advance the stream.
+        let c = RngStream::from_label(12, "fp");
+        let _ = c.fingerprint();
+        assert_eq!(b.clone().fingerprint(), c.fingerprint());
     }
 
     #[test]

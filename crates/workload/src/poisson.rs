@@ -13,7 +13,7 @@ use crate::trace::RateTrace;
 /// Open-loop means arrivals do not wait for responses — the standard model
 /// for aggregate traffic from a large user base, and the natural fit for
 /// experiments specified in req/s (Fig 15).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct PoissonSource {
     mix: RequestMix,
     trace: RateTrace,
@@ -78,6 +78,10 @@ impl Agent for PoissonSource {
         let origin = Origin::legit(self.ip_base + (session as u32 & 0xFFFF), session);
         ctx.submit(rt, origin);
         self.schedule_next(ctx);
+    }
+
+    fn snapshot(&self) -> Option<microsim::AgentState> {
+        Some(microsim::AgentState::of(self))
     }
 }
 

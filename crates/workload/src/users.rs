@@ -102,7 +102,7 @@ struct User {
 ///
 /// The population records client-side latency statistics, which is what
 /// the paper's tables report as user-perceived response time.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct ClosedLoopUsers {
     model: BrowsingModel,
     think_mean_s: f64,
@@ -209,6 +209,10 @@ impl Agent for ClosedLoopUsers {
         let state = self.users[user].state;
         self.users[user].state = self.model.next_state(state, &mut self.rng);
         self.think_then_wake(ctx, user);
+    }
+
+    fn snapshot(&self) -> Option<microsim::AgentState> {
+        Some(microsim::AgentState::of(self))
     }
 }
 

@@ -56,6 +56,99 @@ fn different_seed_changes_the_run() {
     assert_ne!(a.0, b.0, "different seeds should produce different runs");
 }
 
+/// A warm-snapshot forked run is byte-identical to a cold run: the same
+/// campaign executed with and without snapshot forking must agree on the
+/// full request timeline, every recorded metric, the attack schedule and
+/// the final RNG stream positions.
+#[test]
+fn warm_fork_is_byte_identical_to_cold() {
+    use lab::{AttackRun, Scenario};
+
+    let scenario = Scenario::social_network(
+        "fork-test",
+        microsim::PlatformProfile::ec2(),
+        1_500,
+        1_500,
+        0xF04C,
+    );
+    let baseline = SimDuration::from_secs(20);
+    let attack = SimDuration::from_secs(60);
+    let config = CampaignConfig::default;
+
+    let forked = AttackRun::execute_opts(&scenario, config(), baseline, attack, true);
+    let cold = AttackRun::execute_opts(&scenario, config(), baseline, attack, false);
+
+    assert_eq!(
+        forked.sim.metrics(),
+        cold.sim.metrics(),
+        "metrics differ between forked and cold runs"
+    );
+    assert_eq!(
+        forked.sim.pending_events(),
+        cold.sim.pending_events(),
+        "pending event counts differ"
+    );
+    assert_eq!(
+        forked.sim.rng_fingerprint(),
+        cold.sim.rng_fingerprint(),
+        "final RNG stream positions differ"
+    );
+    assert_eq!(
+        forked.campaign.report, cold.campaign.report,
+        "attack reports differ"
+    );
+    assert_eq!(forked.campaign.bots_used, cold.campaign.bots_used);
+    assert_eq!(forked.baseline_window, cold.baseline_window);
+    assert_eq!(forked.attack_window, cold.attack_window);
+}
+
+/// Several attack variants forked from one shared `WarmProfiled` each match
+/// a dedicated cold run that re-simulated the whole prefix inline — the
+/// property that makes attack-parameter sweeps safe to share prefixes.
+#[test]
+fn shared_profiled_fork_matches_dedicated_cold_runs() {
+    use grunt::{CommanderConfig, ProfilerConfig};
+    use lab::{AttackRun, Scenario, WarmProfiled};
+
+    let scenario = Scenario::social_network(
+        "sweep-test",
+        microsim::PlatformProfile::ec2(),
+        1_500,
+        1_500,
+        0x54A2,
+    );
+    let baseline = SimDuration::from_secs(20);
+    let attack = SimDuration::from_secs(60);
+    let warm = WarmProfiled::new(&scenario, ProfilerConfig::default(), baseline);
+
+    for goal in [600.0, 1_200.0] {
+        let commander = CommanderConfig {
+            damage_goal_ms: goal,
+            ..CommanderConfig::default()
+        };
+        let forked = AttackRun::forked(&warm, commander.clone(), attack);
+        let config = CampaignConfig {
+            commander,
+            ..CampaignConfig::default()
+        };
+        let cold = AttackRun::execute_opts(&scenario, config, baseline, attack, false);
+        assert_eq!(
+            forked.sim.metrics(),
+            cold.sim.metrics(),
+            "metrics differ at damage goal {goal}"
+        );
+        assert_eq!(
+            forked.sim.rng_fingerprint(),
+            cold.sim.rng_fingerprint(),
+            "RNG positions differ at damage goal {goal}"
+        );
+        assert_eq!(
+            forked.campaign.report, cold.campaign.report,
+            "attack reports differ at damage goal {goal}"
+        );
+    }
+}
+
 /// The parallel sweep executor reproduces the serial path byte for byte:
 /// a two-cell Table I slice rendered with `jobs = 1`, `2` and `4` must
 /// yield identical markdown and CSV artifacts, because every cell is a
