@@ -5,6 +5,8 @@
 //! analysis — at a scale small enough for repeated sampling. The full
 //! artifacts are regenerated with `cargo run --release -p lab --bin lab`.
 
+// criterion_group! expands to an undocumented fn; nothing to doc by hand.
+#![allow(missing_docs)]
 use apps::{social_network, UBench, UBenchConfig};
 use baselines::{BruteForce, TailAttack, TailAttackConfig};
 use bench::BENCH_USERS;
@@ -71,7 +73,7 @@ fn bench_attack_timelines(c: &mut Criterion) {
                 coarse.series(callgraph::ServiceId::new(1)).len(),
                 rt.peak_ms(),
             )
-        })
+        });
     });
     g.finish();
 }
@@ -104,7 +106,7 @@ fn bench_table1(c: &mut Criterion) {
                 sim.now(),
             );
             (base.avg_ms, att.avg_ms, campaign.bots_used)
-        })
+        });
     });
     g.finish();
 }
@@ -121,7 +123,7 @@ fn bench_profiling(c: &mut Criterion) {
             let gt = GroundTruth::from_topology(app.topology());
             let members: Vec<_> = outcome.catalog.iter().map(|(id, _)| *id).collect();
             ProfilerScore::compute(&members, &gt, &outcome.groups).f_score()
-        })
+        });
     });
     g.bench_function("fig16_table4_profile_ubench_app1", |b| {
         b.iter(|| {
@@ -135,7 +137,7 @@ fn bench_profiling(c: &mut Criterion) {
             sim.run_until(SimTime::from_secs(5));
             let outcome = run_profiler(&mut sim, 4);
             outcome.groups.groups().len()
-        })
+        });
     });
     g.finish();
 }
@@ -167,7 +169,7 @@ fn bench_fig15(c: &mut Criterion) {
             )));
             sim.run_until(SimTime::from_secs(60));
             sim.metrics().scaling_actions().len()
-        })
+        });
     });
     g.finish();
 }
@@ -201,7 +203,7 @@ fn bench_ablations(c: &mut Criterion) {
             let blocked = RateShield::paper_default().blocked_count(m);
             let corr = CorrelationDefense::default().analyze(m, sim.now());
             (ids.alerts().len(), blocked, corr.flagged_sessions().len())
-        })
+        });
     });
     g.finish();
 }
@@ -218,10 +220,10 @@ fn bench_sweep(c: &mut Criterion) {
         sim.metrics().request_log().len()
     };
     g.bench_function("four_cells_serial", |b| {
-        b.iter(|| lab::sweep::map_cells(1, &cells, |_, s| cell(*s)))
+        b.iter(|| lab::sweep::map_cells(1, &cells, |_, s| cell(*s)));
     });
     g.bench_function("four_cells_jobs4", |b| {
-        b.iter(|| lab::sweep::map_cells(4, &cells, |_, s| cell(*s)))
+        b.iter(|| lab::sweep::map_cells(4, &cells, |_, s| cell(*s)));
     });
     g.finish();
 }

@@ -1,6 +1,8 @@
 //! Simulation-kernel microbenches: the event loop, RNG streams and the
 //! statistics collectors everything else is built on.
 
+// criterion_group! expands to an undocumented fn; nothing to doc by hand.
+#![allow(missing_docs)]
 use callgraph::{RequestTypeId, ServiceSpec, TopologyBuilder};
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use microsim::agents::FixedRate;
@@ -61,20 +63,20 @@ fn event_queue(c: &mut Criterion) {
             || EventQueue::<u64>::with_capacity(10_240),
             |q| push_pop_10k!(q),
             BatchSize::SmallInput,
-        )
+        );
     });
     g.bench_function("heap_push_pop_10k", |b| {
         b.iter_batched(
             || HeapEventQueue::<u64>::with_capacity(10_240),
             |q| push_pop_10k!(q),
             BatchSize::SmallInput,
-        )
+        );
     });
     g.bench_function("wheel_hold_model", |b| {
-        b.iter(|| hold_model!(EventQueue::<u64>::with_capacity(1_024)))
+        b.iter(|| hold_model!(EventQueue::<u64>::with_capacity(1_024)));
     });
     g.bench_function("heap_hold_model", |b| {
-        b.iter(|| hold_model!(HeapEventQueue::<u64>::with_capacity(1_024)))
+        b.iter(|| hold_model!(HeapEventQueue::<u64>::with_capacity(1_024)));
     });
     g.finish();
 }
@@ -88,7 +90,7 @@ fn rng_streams(c: &mut Criterion) {
                 acc += rng.exp(7.0);
             }
             acc
-        })
+        });
     });
 }
 
@@ -100,7 +102,7 @@ fn stats_collectors(c: &mut Criterion) {
                 w.push(f64::from(i % 997));
             }
             w.mean()
-        })
+        });
     });
     c.bench_function("kernel/sample_set_percentile_10k", |b| {
         b.iter_batched(
@@ -113,7 +115,7 @@ fn stats_collectors(c: &mut Criterion) {
             },
             |mut s| s.percentile(0.95),
             BatchSize::SmallInput,
-        )
+        );
     });
 }
 
@@ -146,7 +148,7 @@ fn simulation_throughput(c: &mut Criterion) {
             )));
             sim.run_until(SimTime::from_secs(1));
             sim.metrics().request_log().len()
-        })
+        });
     });
     // Closed-loop population wake/submit/response cycle.
     c.bench_function("kernel/simulate_5s_closed_loop_200users", |b| {
@@ -158,7 +160,7 @@ fn simulation_throughput(c: &mut Criterion) {
             ));
             sim.run_until(SimTime::from_secs(5));
             sim.metrics().request_log().len()
-        })
+        });
     });
 }
 

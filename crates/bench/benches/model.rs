@@ -2,6 +2,8 @@
 //! and the attacker-side estimators — the hot path of the Commander's
 //! per-burst feedback.
 
+// criterion_group! expands to an undocumented fn; nothing to doc by hand.
+#![allow(missing_docs)]
 use callgraph::{DependencyGroups, ExecutionPath, RequestTypeId, ServiceId};
 use criterion::{criterion_group, criterion_main, Criterion};
 use grunt::{BurstObservation, ScalarKalman};
@@ -24,7 +26,7 @@ fn equations(c: &mut Criterion) {
             let d = damage_latency(q.max(1.0), 260.0);
             let p = millibottleneck_length(burst, 260.0, 80.0, 260.0);
             (q, d, p)
-        })
+        });
     });
 }
 
@@ -44,9 +46,12 @@ fn ranking(c: &mut Criterion) {
         })
         .collect();
     let groups = DependencyGroups::from_ground_truth(&paths);
-    let members: Vec<RequestTypeId> = paths.iter().map(|p| p.request_type()).collect();
+    let members: Vec<RequestTypeId> = paths
+        .iter()
+        .map(callgraph::ExecutionPath::request_type)
+        .collect();
     c.bench_function("model/rank_candidates_12paths", |b| {
-        b.iter(|| rank_candidates(&members, &groups, |rt| 100.0 + rt.index() as f64))
+        b.iter(|| rank_candidates(&members, &groups, |rt| 100.0 + rt.index() as f64));
     });
 }
 
@@ -66,7 +71,7 @@ fn estimators(c: &mut Criterion) {
                 });
             }
             (obs.pmb_estimate(), obs.avg_rt_ms())
-        })
+        });
     });
     c.bench_function("model/kalman_1k_updates", |b| {
         b.iter(|| {
@@ -76,7 +81,7 @@ fn estimators(c: &mut Criterion) {
                 last = k.update(400.0 + f64::from(i % 83));
             }
             last
-        })
+        });
     });
 }
 

@@ -137,21 +137,49 @@ fn check() {
         attack,
         false,
     );
-    assert!(
-        forked.sim.metrics() == cold.sim.metrics(),
-        "forked metrics differ from cold"
-    );
-    assert_eq!(
-        forked.sim.rng_fingerprint(),
-        cold.sim.rng_fingerprint(),
-        "forked RNG positions differ from cold"
-    );
-    assert_eq!(
-        forked.sim.pending_events(),
-        cold.sim.pending_events(),
-        "forked pending-event counts differ from cold"
-    );
+    let forked_report = comparison_report(&forked);
+    let cold_report = comparison_report(&cold);
+    if forked_report != cold_report {
+        print_first_divergence(&forked_report, &cold_report);
+        panic!(
+            "forked campaign diverges from cold re-simulation (first divergent report line above)"
+        );
+    }
     eprintln!("check OK");
+}
+
+/// Renders a run's comparable end state as a line-oriented report — one
+/// metrics field per line plus the RNG fingerprint and pending-event count
+/// — so a determinism failure can name the exact quantity that diverged.
+fn comparison_report(run: &lab::AttackRun) -> String {
+    format!(
+        "{:#?}\nrng_fingerprint: {:?}\npending_events: {}\n",
+        run.sim.metrics(),
+        run.sim.rng_fingerprint(),
+        run.sim.pending_events()
+    )
+}
+
+/// Prints the first line where the forked and cold reports diverge.
+fn print_first_divergence(forked: &str, cold: &str) {
+    let (mut f, mut c) = (forked.lines(), cold.lines());
+    let mut line = 0usize;
+    loop {
+        line += 1;
+        match (f.next(), c.next()) {
+            (Some(a), Some(b)) if a == b => {}
+            (None, None) => {
+                eprintln!("reports compare unequal but no line differs (encoding?)");
+                return;
+            }
+            (a, b) => {
+                eprintln!("first divergent report line ({line}):");
+                eprintln!("  forked: {}", a.unwrap_or("<end of report>"));
+                eprintln!("  cold:   {}", b.unwrap_or("<end of report>"));
+                return;
+            }
+        }
+    }
 }
 
 fn main() {
@@ -296,8 +324,7 @@ fn main() {
         queue_speedup
     ));
     json.push_str(&format!(
-        "  \"kernel_steady_state\": {{\n    \"requests_per_wall_second\": {:.0},\n    \"sim_seconds_per_wall_second\": {:.1}\n  }},\n",
-        req_per_sec, sim_speed
+        "  \"kernel_steady_state\": {{\n    \"requests_per_wall_second\": {req_per_sec:.0},\n    \"sim_seconds_per_wall_second\": {sim_speed:.1}\n  }},\n"
     ));
     json.push_str(&format!(
         "  \"demand_rng_batching\": {{\n    \"per_call_ns_per_draw\": {:.2},\n    \"batched_ns_per_draw\": {:.2},\n    \"speedup\": {:.3}\n  }}",

@@ -98,7 +98,13 @@ impl DependencyGroups {
                 pairwise.insert((a.request_type(), b.request_type()), dep);
             }
         }
-        Self::from_pairwise(paths.iter().map(|p| p.request_type()).collect(), pairwise)
+        Self::from_pairwise(
+            paths
+                .iter()
+                .map(super::path::ExecutionPath::request_type)
+                .collect(),
+            pairwise,
+        )
     }
 
     /// Builds groups from an explicit pairwise classification — this is the
@@ -156,7 +162,7 @@ impl DependencyGroups {
         self.groups
             .iter()
             .find(|g| g.contains(&id))
-            .map(|g| g.as_slice())
+            .map(std::vec::Vec::as_slice)
     }
 
     /// The recorded classification for a pair, orientation-insensitive.
@@ -181,7 +187,7 @@ impl DependencyGroups {
         self.groups
             .iter()
             .filter(|g| g.len() > 1)
-            .map(|g| g.as_slice())
+            .map(std::vec::Vec::as_slice)
     }
 }
 

@@ -165,8 +165,7 @@ impl CriticalPath {
             let child_time = self
                 .spans
                 .get(i + 1)
-                .map(Span::duration)
-                .unwrap_or(SimDuration::ZERO);
+                .map_or(SimDuration::ZERO, Span::duration);
             let self_time = s.duration().saturating_sub(child_time);
             if self_time >= best.0 {
                 best = (self_time, s.service);

@@ -172,14 +172,17 @@ fn main() {
         .network_windows()
         .iter()
         .take(300)
-        .map(|w| w.total_mb())
+        .map(microsim::metrics::NetworkWindow::total_mb)
         .sum::<f64>()
         / 30.0;
     let wins = m.network_windows();
     let a0i = (a0.as_millis() / 100) as usize;
     let a1i = ((a1.as_millis() / 100) as usize).min(wins.len());
-    let net_att: f64 =
-        wins[a0i..a1i].iter().map(|w| w.total_mb()).sum::<f64>() / ((a1i - a0i) as f64 / 10.0);
+    let net_att: f64 = wins[a0i..a1i]
+        .iter()
+        .map(microsim::metrics::NetworkWindow::total_mb)
+        .sum::<f64>()
+        / ((a1i - a0i) as f64 / 10.0);
     println!("net MB/s: base={net_base:.2} attack={net_att:.2}");
     // white-box millibottlenecks during attack
     let mbs = telemetry::find_millibottlenecks(m, 0.95);

@@ -24,7 +24,7 @@ use callgraph::{DependencyGroups, PairwiseDependency, RequestTypeId};
 use microsim::{Agent, Response, SimCtx};
 use queueing::{rank_candidates, RankedPath};
 use simnet::{SimDuration, SimTime};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::botfarm::BotFarm;
 use crate::kalman::ScalarKalman;
@@ -98,7 +98,7 @@ struct GroupState {
     /// Rotation cursor.
     cursor: usize,
     /// Per-path volume (requests per burst), adapted.
-    volume: HashMap<RequestTypeId, f64>,
+    volume: BTreeMap<RequestTypeId, f64>,
     /// Filtered damage-latency estimate (ms).
     tmin: ScalarKalman,
     /// Filtered per-burst damage (drain) estimate (ms), drives intervals.
@@ -112,16 +112,16 @@ struct GroupState {
     chunk_plan: Option<(RequestTypeId, u32, u32)>,
     /// Bottleneck-cluster id per ranked path (paths mutually classified
     /// as shared-bottleneck saturate the same service).
-    cluster: HashMap<RequestTypeId, usize>,
+    cluster: BTreeMap<RequestTypeId, usize>,
     /// Last burst start per cluster id.
-    cluster_last: HashMap<usize, SimTime>,
+    cluster_last: BTreeMap<usize, SimTime>,
     /// Most recent launches `(path, start)` for adaptive cluster merging.
     recent_launches: Vec<(RequestTypeId, SimTime)>,
     /// Violation co-occurrence per path pair: `(count, last strike time)`.
     /// Cluster merging needs repeated evidence *close in time* — isolated
     /// violations minutes apart are noise, and unbounded accumulation
     /// would eventually merge every pair on a long campaign.
-    merge_strikes: HashMap<(RequestTypeId, RequestTypeId), (u32, SimTime)>,
+    merge_strikes: BTreeMap<(RequestTypeId, RequestTypeId), (u32, SimTime)>,
     /// Sequence number for wake dedup.
     seq: u64,
 }
@@ -153,12 +153,12 @@ impl GruntCommander {
             // Every path starts in its own bottleneck cluster; clusters are
             // merged adaptively when overlapping bursts of two paths
             // produce an over-long millibottleneck (see `finish_burst`).
-            let clusters: HashMap<RequestTypeId, usize> = ranked
+            let clusters: BTreeMap<RequestTypeId, usize> = ranked
                 .iter()
                 .enumerate()
                 .map(|(i, r)| (r.request_type, i))
                 .collect();
-            let mut volume = HashMap::new();
+            let mut volume = BTreeMap::new();
             for r in &ranked {
                 // Start slightly below the measured saturation volume and
                 // let the P_MB feedback grow it: overshooting on the first
@@ -184,9 +184,9 @@ impl GruntCommander {
                 bursts: Vec::new(),
                 chunk_plan: None,
                 cluster: clusters,
-                cluster_last: HashMap::new(),
+                cluster_last: BTreeMap::new(),
                 recent_launches: Vec::new(),
-                merge_strikes: HashMap::new(),
+                merge_strikes: BTreeMap::new(),
                 seq: 0,
             });
         }

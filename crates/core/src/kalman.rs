@@ -52,7 +52,7 @@ impl ScalarKalman {
     /// measurements are ignored (the previous estimate is returned).
     pub fn update(&mut self, z: f64) -> f64 {
         if !z.is_finite() {
-            return self.state.map(|(x, _)| x).unwrap_or(0.0);
+            return self.state.map_or(0.0, |(x, _)| x);
         }
         match self.state {
             None => {

@@ -41,7 +41,7 @@ impl AttackReport {
         let lengths: Vec<u64> = self
             .bursts
             .iter()
-            .filter_map(|b| b.pmb_estimate.map(|d| d.as_micros()))
+            .filter_map(|b| b.pmb_estimate.map(simnet::SimDuration::as_micros))
             .collect();
         if lengths.is_empty() {
             return None;

@@ -92,8 +92,8 @@ proptest! {
             k.update(z);
         }
         let est = k.estimate().expect("updated");
-        let lo = zs.iter().cloned().fold(f64::INFINITY, f64::min);
-        let hi = zs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let lo = zs.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = zs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         prop_assert!(est >= lo - 1e-9 && est <= hi + 1e-9, "estimate {est} outside [{lo}, {hi}]");
     }
 

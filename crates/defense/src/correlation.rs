@@ -18,7 +18,7 @@
 //! both that the defense *can* catch Grunt bots and what monitoring
 //! granularity it requires.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use microsim::Metrics;
 use simnet::{SimDuration, SimTime};
@@ -165,7 +165,7 @@ impl CorrelationDefense {
             total: u32,
             attack: bool,
         }
-        let mut sessions: HashMap<u64, Acc> = HashMap::new();
+        let mut sessions: BTreeMap<u64, Acc> = BTreeMap::new();
         for e in metrics.access_log() {
             let key = match self.aggregate_prefix_bits {
                 Some(bits) => u64::from(e.origin.ip >> (32 - u32::from(bits.min(32)))),

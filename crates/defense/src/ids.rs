@@ -1,6 +1,6 @@
 //! A Snort-style rule-based IDS over the gateway access log.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use callgraph::ServiceId;
 use microsim::Metrics;
@@ -145,7 +145,7 @@ impl Ids {
     /// The user-behaviour interval rule: consecutive requests of one
     /// session closer than the threshold are flagged.
     fn interval_rule(&self, metrics: &Metrics, alerts: &mut Vec<Alert>) {
-        let mut last_by_session: HashMap<u64, SimTime> = HashMap::new();
+        let mut last_by_session: BTreeMap<u64, SimTime> = BTreeMap::new();
         for e in metrics.access_log() {
             if let Some(prev) = last_by_session.insert(e.origin.session, e.at) {
                 if e.at.saturating_since(prev) < self.config.min_session_interval {

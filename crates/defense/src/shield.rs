@@ -1,6 +1,6 @@
 //! AWS-Shield-style per-IP rate limiting.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use microsim::Metrics;
 use simnet::{SimDuration, SimTime};
@@ -48,8 +48,8 @@ impl RateShield {
 
     /// Replays the access log and returns the verdict per IP (sliding
     /// window, exact).
-    pub fn analyze(&self, metrics: &Metrics) -> HashMap<u32, ShieldVerdict> {
-        let mut per_ip: HashMap<u32, Vec<SimTime>> = HashMap::new();
+    pub fn analyze(&self, metrics: &Metrics) -> BTreeMap<u32, ShieldVerdict> {
+        let mut per_ip: BTreeMap<u32, Vec<SimTime>> = BTreeMap::new();
         for e in metrics.access_log() {
             per_ip.entry(e.origin.ip).or_default().push(e.at);
         }

@@ -20,6 +20,8 @@
 use lab::{experiments, sweep, Fidelity, RunOpts};
 
 fn main() {
+    // CLI harness: argv selects which simulations run, never what they
+    // compute. simlint: allow(nondet-source)
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() || args[0] == "--help" || args[0] == "-h" {
         eprintln!(
@@ -75,7 +77,8 @@ fn main() {
     };
 
     for name in names {
-        let started = std::time::Instant::now();
+        // Wall-clock progress echo on stderr; reports never include it.
+        let started = std::time::Instant::now(); // simlint: allow(nondet-source)
         eprintln!(
             "== running {name} ({fidelity:?}, jobs={jobs}{}) ==",
             if snapshots { "" } else { ", no-snapshot" }

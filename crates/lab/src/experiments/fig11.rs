@@ -15,7 +15,7 @@ use crate::{Fidelity, Report, Scenario};
 
 /// A one-shot probing agent: sends a paced burst of `attacker` requests
 /// and `probes` delayed probes of `victim`, recording the probe RTs.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct PairProbe {
     attacker: RequestTypeId,
     victim: RequestTypeId,
@@ -89,6 +89,10 @@ impl Agent for PairProbe {
         if response.request_type == self.victim {
             self.probe_rts.push(response.latency_ms());
         }
+    }
+
+    fn snapshot(&self) -> Option<microsim::AgentState> {
+        Some(microsim::AgentState::of(self))
     }
 }
 

@@ -15,6 +15,7 @@ use crate::{sweep, AttackRun, Fidelity, Report, RunOpts, Scenario, WarmProfiled}
 pub type Setting = (String, PlatformProfile, usize, usize);
 
 /// The two table rows a cell produces.
+#[derive(Debug)]
 pub struct CellRows {
     /// Table I row (user-perceived damage).
     pub row1: Vec<String>,
@@ -145,10 +146,9 @@ pub fn report_for_opts(settings: &[Setting], opts: RunOpts) -> Report {
         "Tables I & III — Grunt damage across cloud settings",
     );
     report.paragraph(format!(
-        "SocialNetwork under {} of attack per setting; damage goal avg RT >= 1 s, \
+        "SocialNetwork under {attack} of attack per setting; damage goal avg RT >= 1 s, \
          stealth goal P_MB <= 500 ms. `Base.` columns measure the pre-attack window, \
-         `Att.` the attack window (20 s ramp excluded).",
-        attack
+         `Att.` the attack window (20 s ramp excluded)."
     ));
 
     let cells = sweep::map_cells(opts.jobs, settings, |_, s| {

@@ -79,8 +79,14 @@ impl Report {
         let _ = writeln!(s, "```");
         self.sections.push(s);
         let slug = format!("{}_s{}", self.name, self.series_data.len() + 1);
-        self.series_data
-            .push((slug, headers.iter().map(|h| h.to_string()).collect(), rows));
+        self.series_data.push((
+            slug,
+            headers
+                .iter()
+                .map(std::string::ToString::to_string)
+                .collect(),
+            rows,
+        ));
     }
 
     /// The structured series blocks collected so far: `(slug, headers,

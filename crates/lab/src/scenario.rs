@@ -302,7 +302,7 @@ impl AttackRun {
         }
         let total: f64 = self.metrics().network_windows()[lo..hi]
             .iter()
-            .map(|n| n.total_mb())
+            .map(microsim::metrics::NetworkWindow::total_mb)
             .sum();
         total * per_sec / (hi - lo) as f64
     }
@@ -328,10 +328,8 @@ impl AttackRun {
     /// Mean of the attacker's millibottleneck-length estimates, with the
     /// burst pacing removed (ms) — the `P_MB` column of Table III.
     pub fn mean_pmb_ms(&self) -> f64 {
-        self.campaign
-            .report
-            .mean_pmb()
-            .map(|d| (d.as_millis_f64() - self.pacing.as_millis_f64()).max(0.0))
-            .unwrap_or(0.0)
+        self.campaign.report.mean_pmb().map_or(0.0, |d| {
+            (d.as_millis_f64() - self.pacing.as_millis_f64()).max(0.0)
+        })
     }
 }

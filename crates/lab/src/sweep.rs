@@ -79,6 +79,8 @@ where
 /// otherwise 1 (serial). Parallel sweeps are opt-in via `lab --jobs N` so
 /// that plain invocations keep the familiar serial timing profile.
 pub fn default_jobs() -> usize {
+    // Worker-count selection only: any jobs value yields byte-identical
+    // reports (the determinism test asserts it). simlint: allow(nondet-source)
     std::env::var("LAB_JOBS")
         .ok()
         .and_then(|v| v.trim().parse::<usize>().ok())
@@ -90,11 +92,7 @@ pub fn default_jobs() -> usize {
 /// with an explicit serial fallback on single-CPU hosts — see
 /// [`auto_jobs_with`].
 pub fn auto_jobs() -> usize {
-    auto_jobs_with(
-        std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(1),
-    )
+    auto_jobs_with(std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get))
 }
 
 /// [`auto_jobs`] for a host with `available` CPUs (pure, for testing).

@@ -90,6 +90,15 @@ pub struct SimCtx<'a> {
     pub(crate) agent: AgentId,
 }
 
+impl std::fmt::Debug for SimCtx<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimCtx")
+            .field("agent", &self.agent)
+            .field("now", &self.kernel.now())
+            .finish_non_exhaustive()
+    }
+}
+
 impl<'a> SimCtx<'a> {
     /// The current simulated time.
     pub fn now(&self) -> simnet::SimTime {

@@ -68,40 +68,57 @@ const DEMAND_Z_BATCH: usize = 32;
 /// topology, execution paths, config — are shared via `Arc`. A clone is
 /// therefore an exact fork: running the original and the clone with the same
 /// inputs produces bit-identical histories.
-#[derive(Clone)]
+///
+/// The `Clone` impl lives in [`crate::snapshot`] and clones every field
+/// explicitly, one line per field, so that `simlint`'s snapshot-completeness
+/// rule can cross-check this field list against the clone path: adding a
+/// field here without extending the snapshot is a CI failure, not a silent
+/// stale fork. Fields are `pub(crate)` for that impl only — nothing outside
+/// the crate sees them.
 pub struct Kernel {
-    topology: Arc<Topology>,
-    paths: Arc<Vec<callgraph::ExecutionPath>>,
-    cfg: Arc<SimConfig>,
-    now: SimTime,
-    queue: EventQueue<Event>,
-    services: Vec<Service>,
-    jobs: Vec<Option<Job>>,
-    free_jobs: Vec<usize>,
-    metrics: Metrics,
-    demand_rng: RngStream,
+    pub(crate) topology: Arc<Topology>,
+    pub(crate) paths: Arc<Vec<callgraph::ExecutionPath>>,
+    pub(crate) cfg: Arc<SimConfig>,
+    pub(crate) now: SimTime,
+    pub(crate) queue: EventQueue<Event>,
+    pub(crate) services: Vec<Service>,
+    pub(crate) jobs: Vec<Option<Job>>,
+    pub(crate) free_jobs: Vec<usize>,
+    pub(crate) metrics: Metrics,
+    pub(crate) demand_rng: RngStream,
     /// Buffered standard-normal draws for demand sampling, consumed in draw
     /// order; see [`Kernel::next_demand_z`].
-    demand_z: [f64; DEMAND_Z_BATCH],
-    demand_z_next: usize,
-    trace_rng: RngStream,
-    next_token: u64,
+    pub(crate) demand_z: [f64; DEMAND_Z_BATCH],
+    pub(crate) demand_z_next: usize,
+    pub(crate) trace_rng: RngStream,
+    pub(crate) next_token: u64,
     /// Responses produced during event handling, drained by the run loop
     /// and dispatched to agents.
     pub(crate) outbox: Vec<(AgentId, Response)>,
     /// Recycled span buffers for traced jobs.
-    span_pool: Vec<Vec<(SimTime, SimTime)>>,
+    pub(crate) span_pool: Vec<Vec<(SimTime, SimTime)>>,
     /// Reused per-sample window buffer.
-    win_scratch: Vec<ServiceWindow>,
+    pub(crate) win_scratch: Vec<ServiceWindow>,
     // Per-window counters (reset at each sample).
-    win_arrivals: Vec<u32>,
-    win_completions: Vec<u32>,
-    win_net: NetworkWindow,
+    pub(crate) win_arrivals: Vec<u32>,
+    pub(crate) win_completions: Vec<u32>,
+    pub(crate) win_net: NetworkWindow,
     // Per-second utilisation accumulation for the auto-scaler.
-    sec_busy: Vec<SimDuration>,
-    sec_started: SimTime,
-    windows_per_sec: u64,
-    windows_seen: u64,
+    pub(crate) sec_busy: Vec<SimDuration>,
+    pub(crate) sec_started: SimTime,
+    pub(crate) windows_per_sec: u64,
+    pub(crate) windows_seen: u64,
+}
+
+impl std::fmt::Debug for Kernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Kernel")
+            .field("now", &self.now)
+            .field("pending_events", &self.queue.len())
+            .field("services", &self.services.len())
+            .field("in_flight_jobs", &(self.jobs.len() - self.free_jobs.len()))
+            .finish_non_exhaustive()
+    }
 }
 
 impl Kernel {

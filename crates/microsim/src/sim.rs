@@ -76,7 +76,7 @@ impl Simulation {
         for i in 0..self.agents.len() {
             if !self.started[i] {
                 self.started[i] = true;
-                self.with_agent(i, |agent, ctx| agent.start(ctx));
+                self.with_agent(i, super::agent::Agent::start);
                 self.drain_outbox();
             }
         }

@@ -31,9 +31,53 @@
 //! ```
 
 use std::fmt;
+use std::sync::Arc;
 
 use crate::agent::Agent;
 use crate::kernel::Kernel;
+
+/// The kernel's snapshot path: every field cloned explicitly, one line per
+/// field, so nothing can be forgotten silently.
+///
+/// `Kernel` deliberately does **not** derive `Clone`: a derive would keep
+/// compiling when a new field is added even if that field must *not* be
+/// shared between a snapshot and its fork (e.g. anything `Rc`/`RefCell`-like
+/// or a cache keyed on identity). Writing the copy out per field keeps the
+/// decision explicit, and `simlint`'s `snapshot-complete` rule cross-checks
+/// this impl against `Kernel`'s field list: a field added to the struct but
+/// missing here fails CI.
+impl Clone for Kernel {
+    fn clone(&self) -> Self {
+        Kernel {
+            // Immutable per-run structure: shared, not copied.
+            topology: Arc::clone(&self.topology),
+            paths: Arc::clone(&self.paths),
+            cfg: Arc::clone(&self.cfg),
+            // Mutable simulation state: exact deep copies.
+            now: self.now,
+            queue: self.queue.clone(),
+            services: self.services.clone(),
+            jobs: self.jobs.clone(),
+            free_jobs: self.free_jobs.clone(),
+            metrics: self.metrics.clone(),
+            demand_rng: self.demand_rng.clone(),
+            demand_z: self.demand_z,
+            demand_z_next: self.demand_z_next,
+            trace_rng: self.trace_rng.clone(),
+            next_token: self.next_token,
+            outbox: self.outbox.clone(),
+            span_pool: self.span_pool.clone(),
+            win_scratch: self.win_scratch.clone(),
+            win_arrivals: self.win_arrivals.clone(),
+            win_completions: self.win_completions.clone(),
+            win_net: self.win_net,
+            sec_busy: self.sec_busy.clone(),
+            sec_started: self.sec_started,
+            windows_per_sec: self.windows_per_sec,
+            windows_seen: self.windows_seen,
+        }
+    }
+}
 
 /// Implemented by agents whose live state can be captured into a
 /// [`SimSnapshot`] and restored in a fork.

@@ -73,7 +73,7 @@ fn cross_tier_overflow_blocks_sibling_path() {
         .map(|r| r.latency().as_millis_f64())
         .collect();
     assert_eq!(rb_lat.len(), 20);
-    let worst = rb_lat.iter().cloned().fold(0.0, f64::max);
+    let worst = rb_lat.iter().copied().fold(0.0, f64::max);
     // Unblocked rb takes ~4 ms; blocked-at-gateway rb should exceed 10x.
     assert!(
         worst > 40.0,

@@ -1,0 +1,206 @@
+//! `simlint` — the workspace determinism & snapshot-coverage auditor.
+//!
+//! The whole reproduction rests on one invariant: simulations are
+//! deterministic. `lab --jobs N` reports are byte-identical at any job
+//! count, and warm-state forks are byte-identical to cold runs. That
+//! invariant is easy to break silently — one `HashMap` iteration feeding a
+//! report, one `Instant::now()` in an agent, one field missing from the
+//! snapshot clone path — and dynamic tests only catch the breakage when a
+//! test happens to exercise the affected path. `simlint` enforces the
+//! invariant statically, at the source level, on every PR:
+//!
+//! ```text
+//! cargo run -p simlint -- --check [--json]
+//! ```
+//!
+//! Rules (each suppressible per line with `// simlint: allow(<rule>)`):
+//!
+//! * `nondet-source` — `std::time::{Instant, SystemTime}`, `thread_rng` /
+//!   `from_entropy`, `std::env` reads, and raw `thread::spawn` in
+//!   simulation crates;
+//! * `unordered-iter` — iterating a `HashMap`/`HashSet` (hash order is
+//!   unspecified and changes across runs);
+//! * `float-order` — `.sum::<f64>()`/`.product::<f64>()` over an iterator
+//!   derived from an unordered collection (float addition is
+//!   order-sensitive);
+//! * `snapshot-complete` — every field of `microsim::Kernel` and
+//!   `simnet::EventQueue` must be referenced in its explicit `Clone` impl,
+//!   and every `Agent` implementor must be cloneable, so warm-state forks
+//!   can never silently go stale.
+//!
+//! The implementation is a hand-rolled lexer plus token-pattern scans — no
+//! external parser dependencies, consistent with the workspace's offline
+//! `vendor/` policy. It is heuristic by design: file-scoped, type-blind,
+//! tuned so that everything it flags in this workspace is a real hazard or
+//! carries an explicit, reviewable `allow`.
+
+pub mod lexer;
+pub mod rules;
+pub mod snapshot;
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One finding.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Diagnostic {
+    /// Workspace-relative file path (forward slashes).
+    pub file: String,
+    /// 1-based line number.
+    pub line: u32,
+    /// Stable rule id (`nondet-source`, `unordered-iter`, `float-order`,
+    /// `snapshot-complete`).
+    pub rule: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Diagnostic {
+    pub(crate) fn new(rule: &'static str, file: &str, line: u32, message: String) -> Diagnostic {
+        Diagnostic {
+            file: file.replace('\\', "/"),
+            line,
+            rule,
+            message,
+        }
+    }
+
+    /// The finding as a JSON object (hand-rolled; the only JSON this crate
+    /// emits).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"rule\":\"{}\",\"file\":\"{}\",\"line\":{},\"message\":\"{}\"}}",
+            self.rule,
+            json_escape(&self.file),
+            self.line,
+            json_escape(&self.message)
+        )
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Crates whose `src/` trees are simulation code and get the full rule set.
+///
+/// `bench` is exempt (it measures wall time by design) and so is `simlint`
+/// itself. `examples/`, `tests/`, and `benches/` directories are harness
+/// code: they drive simulations but their own statements never execute
+/// inside one.
+pub const SIM_CRATES: [&str; 11] = [
+    "apps",
+    "baselines",
+    "callgraph",
+    "core",
+    "defense",
+    "lab",
+    "microsim",
+    "queueing",
+    "simnet",
+    "telemetry",
+    "workload",
+];
+
+/// Lints one source file (per-file rules only). `path` is the label used in
+/// diagnostics.
+pub fn lint_source(path: &str, src: &str) -> Vec<Diagnostic> {
+    let mut lexed = lexer::lex(src);
+    lexed.tokens = rules::strip_cfg_test(std::mem::take(&mut lexed.tokens));
+    let mut out = Vec::new();
+    rules::lint_tokens(path, &lexed, &mut out);
+    snapshot::check_agents(path, &lexed, &mut out);
+    out.sort();
+    out
+}
+
+/// Lints the whole workspace rooted at `root`: per-file rules over every
+/// sim crate's `src/` tree, plus the workspace-level snapshot-completeness
+/// cross-checks.
+pub fn lint_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
+    let mut out = Vec::new();
+    for krate in SIM_CRATES {
+        let src_dir = root.join("crates").join(krate).join("src");
+        for file in rust_files(&src_dir)? {
+            let rel = file
+                .strip_prefix(root)
+                .unwrap_or(&file)
+                .to_string_lossy()
+                .replace('\\', "/");
+            let src = fs::read_to_string(&file)?;
+            out.extend(lint_source(&rel, &src));
+        }
+    }
+    for target in &snapshot::TARGETS {
+        let struct_src = fs::read_to_string(root.join(target.struct_file))?;
+        let clone_src = fs::read_to_string(root.join(target.clone_file))?;
+        let struct_toks = rules::strip_cfg_test(lexer::lex(&struct_src).tokens);
+        let clone_toks = rules::strip_cfg_test(lexer::lex(&clone_src).tokens);
+        snapshot::check_target(target, &struct_toks, &clone_toks, &mut out);
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// All `.rs` files under `dir`, recursively, in sorted (deterministic)
+/// order. A missing directory yields no files.
+fn rust_files(dir: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    if !dir.is_dir() {
+        return Ok(files);
+    }
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        let mut entries: Vec<PathBuf> = fs::read_dir(&d)?
+            .map(|e| e.map(|e| e.path()))
+            .collect::<io::Result<_>>()?;
+        entries.sort();
+        for path in entries {
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// Finds the workspace root: walks up from `start` to the first directory
+/// whose `Cargo.toml` declares `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}

@@ -1,0 +1,86 @@
+//! CLI for the workspace determinism auditor.
+//!
+//! ```text
+//! cargo run -p simlint -- --check [--json] [--root <dir>]
+//! ```
+//!
+//! Exits 0 when the workspace is clean, 1 when any rule fires, 2 on usage
+//! errors. `--json` emits one JSON array of findings on stdout instead of
+//! the human-readable lines.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    // Harness code, not simulation code: reading argv/cwd here cannot
+    // affect simulated histories.
+    let args: Vec<String> = std::env::args().skip(1).collect(); // simlint: allow(nondet-source)
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    let mut i = 0usize;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--check" => {} // the default (and only) mode; kept for CI clarity
+            "--json" => json = true,
+            "--root" => {
+                i += 1;
+                let Some(dir) = args.get(i) else {
+                    eprintln!("--root expects a directory");
+                    return ExitCode::from(2);
+                };
+                root = Some(PathBuf::from(dir));
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: simlint [--check] [--json] [--root <dir>]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument {other:?}; try --help");
+                return ExitCode::from(2);
+            }
+        }
+        i += 1;
+    }
+
+    let root = root.or_else(|| {
+        let cwd = std::env::current_dir().ok()?; // simlint: allow(nondet-source)
+        simlint::find_workspace_root(&cwd)
+    });
+    let Some(root) = root else {
+        eprintln!("could not find a workspace root (no Cargo.toml with [workspace]); use --root");
+        return ExitCode::from(2);
+    };
+
+    let diagnostics = match simlint::lint_workspace(&root) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("simlint: i/o error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if json {
+        let items: Vec<String> = diagnostics
+            .iter()
+            .map(simlint::Diagnostic::to_json)
+            .collect();
+        println!("[{}]", items.join(","));
+    } else {
+        for d in &diagnostics {
+            println!("{d}");
+        }
+        if diagnostics.is_empty() {
+            eprintln!("simlint: workspace clean");
+        } else {
+            eprintln!(
+                "simlint: {} finding(s); suppress a reviewed line with `// simlint: allow(<rule>)`",
+                diagnostics.len()
+            );
+        }
+    }
+    if diagnostics.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,37 @@
+//! Fixture: `snapshot-complete` at the agent level — every `Agent`
+//! implementor needs a complete `Clone` so `Agent::snapshot` can capture
+//! it. Not compiled — lexed and linted by `tests/golden.rs`.
+
+struct Unsnapshotable {
+    pending: u64,
+}
+
+impl Agent for Unsnapshotable {
+    fn start(&mut self, _ctx: &mut SimCtx<'_>) {}
+}
+
+#[derive(Debug, Clone)]
+struct DerivedOk {
+    pending: u64,
+}
+
+impl Agent for DerivedOk {
+    fn start(&mut self, _ctx: &mut SimCtx<'_>) {}
+}
+
+struct ManualIncomplete {
+    pending: u64,
+    scratch: Vec<u64>,
+}
+
+impl Clone for ManualIncomplete {
+    fn clone(&self) -> Self {
+        ManualIncomplete {
+            pending: self.pending,
+        }
+    }
+}
+
+impl Agent for ManualIncomplete {
+    fn start(&mut self, _ctx: &mut SimCtx<'_>) {}
+}

@@ -1,0 +1,37 @@
+//! Fixture: idiomatic deterministic simulation code — nothing to flag.
+//! Not compiled — lexed and linted by `tests/golden.rs`.
+
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone)]
+struct Meter {
+    totals: BTreeMap<u32, f64>,
+    samples: Vec<f64>,
+}
+
+impl Meter {
+    fn record(&mut self, key: u32, value: f64) {
+        *self.totals.entry(key).or_insert(0.0) += value;
+        self.samples.push(value);
+    }
+
+    fn grand_total(&self) -> f64 {
+        // BTreeMap iterates in key order; Vec in insertion order.
+        self.totals.values().sum::<f64>() + self.samples.iter().sum::<f64>()
+    }
+}
+
+impl Agent for Meter {
+    fn start(&mut self, _ctx: &mut SimCtx<'_>) {}
+}
+
+#[cfg(test)]
+mod tests {
+    // Test modules are masked out entirely: wall-clock timing in a test
+    // harness is fine.
+    #[test]
+    fn timing_in_tests_is_ignored() {
+        let t0 = std::time::Instant::now();
+        assert!(t0.elapsed().as_secs() < 1);
+    }
+}

@@ -1,0 +1,27 @@
+//! Fixture: `float-order` hazards — float reductions whose result depends
+//! on hash-iteration order. Not compiled — lexed and linted by
+//! `tests/golden.rs`.
+
+use std::collections::HashMap;
+
+fn unstable_mean(weights: &HashMap<u32, f64>) -> f64 {
+    let total = weights.values().sum::<f64>();
+    total / weights.len() as f64
+}
+
+fn unstable_product(factors: &HashMap<u32, f64>) -> f64 {
+    factors.values().product::<f64>()
+}
+
+fn stable_sum(weights: &HashMap<u32, f64>) -> f64 {
+    // Collected and sorted before the reduction. simlint: allow(unordered-iter)
+    let mut keys: Vec<u32> = weights.keys().copied().collect();
+    keys.sort_unstable();
+    keys.iter().map(|k| weights[k]).sum::<f64>()
+}
+
+fn integer_sum_is_fine(counts: &HashMap<u32, u64>) -> u64 {
+    // Integer addition commutes exactly; only the iteration itself is a
+    // hazard. simlint: allow(unordered-iter)
+    counts.values().sum::<u64>()
+}

@@ -1,0 +1,32 @@
+//! Fixture: every `nondet-source` hazard, plus the `allow` escape hatch.
+//! Not compiled — lexed and linted by `tests/golden.rs`.
+
+fn wall_clock_instant() {
+    let t0 = std::time::Instant::now();
+    let _ = t0.elapsed();
+}
+
+fn wall_clock_system_time() {
+    let _stamp = std::time::SystemTime::now();
+}
+
+fn os_entropy() {
+    let mut rng = rand::thread_rng();
+    let _seeded = rand::rngs::StdRng::from_entropy();
+    let _ = rng.next_u64();
+}
+
+fn environment_read() {
+    let _home = std::env::var("HOME");
+}
+
+fn raw_thread() {
+    let handle = std::thread::spawn(|| 42);
+    let _ = handle.join();
+}
+
+fn allowed_wall_clock() {
+    // Harness-side timing echo only. simlint: allow(nondet-source)
+    let t0 = std::time::Instant::now();
+    let _ = t0;
+}

@@ -1,0 +1,12 @@
+//! Fixture: the clone half of a tracked snapshot pair — deliberately
+//! missing `rng_state`, which `snapshot-complete` must flag. Not compiled —
+//! fed to `snapshot::check_target` by `tests/golden.rs`.
+
+impl Clone for MiniKernel {
+    fn clone(&self) -> Self {
+        MiniKernel {
+            now: self.now,
+            queue: self.queue.clone(),
+        }
+    }
+}

@@ -1,0 +1,9 @@
+//! Fixture: the struct half of a tracked snapshot pair (see
+//! `snapshot_pair_clone.rs`). Not compiled — fed to
+//! `snapshot::check_target` by `tests/golden.rs`.
+
+struct MiniKernel {
+    now: u64,
+    queue: Vec<u64>,
+    rng_state: u64,
+}

@@ -1,0 +1,44 @@
+//! Fixture: `unordered-iter` hazards next to their safe counterparts.
+//! Not compiled — lexed and linted by `tests/golden.rs`.
+
+use std::collections::{BTreeMap, HashMap};
+
+struct Registry {
+    by_name: HashMap<String, u32>,
+    ordered: BTreeMap<String, u32>,
+}
+
+impl Registry {
+    fn hash_order_total(&self) -> u32 {
+        let mut sum = 0;
+        for (_name, v) in &self.by_name {
+            sum += v;
+        }
+        sum
+    }
+
+    fn keyed_lookup(&self, name: &str) -> Option<u32> {
+        // Point lookups are order-free: not flagged.
+        self.by_name.get(name).copied()
+    }
+
+    fn ordered_total(&self) -> u32 {
+        // BTreeMap iterates in key order: not flagged.
+        self.ordered.values().sum()
+    }
+}
+
+fn local_map() {
+    let mut seen = HashMap::new();
+    seen.insert(1u32, 2u32);
+    for v in seen.values() {
+        let _ = v;
+    }
+    let drained: Vec<(u32, u32)> = seen.drain().collect();
+    let _ = drained;
+}
+
+fn allowed_iteration(index: &HashMap<u32, u32>) -> usize {
+    // Order-insensitive count. simlint: allow(unordered-iter)
+    index.iter().count()
+}

@@ -1,0 +1,71 @@
+//! The workspace self-check — the tree this crate lives in must lint clean —
+//! plus mutation tests proving the snapshot-completeness rule bites: delete
+//! one field-clone line from a real snapshot path and the rule must fail.
+
+use std::fs;
+use std::path::PathBuf;
+
+fn workspace_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    simlint::find_workspace_root(&manifest).expect("workspace root above simlint")
+}
+
+#[test]
+fn workspace_is_clean() {
+    let diags = simlint::lint_workspace(&workspace_root()).unwrap();
+    assert!(
+        diags.is_empty(),
+        "the workspace must lint clean; findings:\n{}",
+        diags
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+/// Runs `check_target` for one tracked struct after deleting every source
+/// line of the clone file that contains `needle`, returning the rendered
+/// diagnostics.
+fn check_with_deleted_line(struct_name: &str, needle: &str) -> Vec<String> {
+    let root = workspace_root();
+    let target = simlint::snapshot::TARGETS
+        .iter()
+        .find(|t| t.struct_name == struct_name)
+        .expect("tracked target");
+    let struct_src = fs::read_to_string(root.join(target.struct_file)).unwrap();
+    let clone_src = fs::read_to_string(root.join(target.clone_file)).unwrap();
+    let mutated: String = clone_src
+        .lines()
+        .filter(|l| !l.contains(needle))
+        .collect::<Vec<_>>()
+        .join("\n");
+    assert_ne!(mutated, clone_src, "needle `{needle}` not found to delete");
+    let struct_toks = simlint::rules::strip_cfg_test(simlint::lexer::lex(&struct_src).tokens);
+    let clone_toks = simlint::rules::strip_cfg_test(simlint::lexer::lex(&mutated).tokens);
+    let mut out = Vec::new();
+    simlint::snapshot::check_target(target, &struct_toks, &clone_toks, &mut out);
+    out.iter().map(ToString::to_string).collect()
+}
+
+#[test]
+fn deleting_a_kernel_field_clone_line_is_caught() {
+    let diags = check_with_deleted_line("Kernel", "queue: self.queue.clone()");
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.contains("[snapshot-complete]") && d.contains("`queue`")),
+        "expected a snapshot-complete finding for `queue`, got: {diags:?}"
+    );
+}
+
+#[test]
+fn deleting_an_event_queue_field_clone_line_is_caught() {
+    let diags = check_with_deleted_line("EventQueue", "next_seq: self.next_seq");
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.contains("[snapshot-complete]") && d.contains("`next_seq`")),
+        "expected a snapshot-complete finding for `next_seq`, got: {diags:?}"
+    );
+}

@@ -191,7 +191,7 @@ impl SampleSet {
     pub fn max(&self) -> f64 {
         self.samples
             .iter()
-            .cloned()
+            .copied()
             .fold(f64::NEG_INFINITY, f64::max)
             .max(0.0)
     }

@@ -130,8 +130,8 @@ proptest! {
         let p95 = s.percentile(0.95);
         let hi = s.percentile(1.0);
         prop_assert!(lo <= p50 && p50 <= p95 && p95 <= hi);
-        let min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
-        let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let min = xs.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         prop_assert_eq!(lo, min);
         prop_assert_eq!(hi, max);
     }

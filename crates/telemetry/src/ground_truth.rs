@@ -241,7 +241,13 @@ fn physical_groups(
             pairwise.insert((x.request_type(), y.request_type()), dep);
         }
     }
-    DependencyGroups::from_pairwise(paths.iter().map(|p| p.request_type()).collect(), pairwise)
+    DependencyGroups::from_pairwise(
+        paths
+            .iter()
+            .map(callgraph::ExecutionPath::request_type)
+            .collect(),
+        pairwise,
+    )
 }
 
 /// Precision / recall / F-score of an *estimated* pairwise classification

@@ -94,7 +94,7 @@ impl RateTrace {
 
     /// Largest rate in the trace.
     pub fn peak(&self) -> f64 {
-        self.rates.iter().cloned().fold(0.0, f64::max)
+        self.rates.iter().copied().fold(0.0, f64::max)
     }
 }
 
@@ -126,7 +126,7 @@ mod tests {
             assert!((1000.0..=6000.0).contains(&r), "rate {r} out of bounds");
         }
         // It actually varies (not a constant line).
-        let min = t.rates().iter().cloned().fold(f64::MAX, f64::min);
+        let min = t.rates().iter().copied().fold(f64::MAX, f64::min);
         assert!(t.peak() - min > 1000.0, "trace should swing widely");
     }
 

@@ -76,11 +76,9 @@ fn main() {
         attacked.p95_ms / baseline.p95_ms
     );
     let pacing = CampaignConfig::default().commander.burst_length;
-    let pmb_ms = campaign
-        .report
-        .mean_pmb()
-        .map(|d| (d.as_millis_f64() - pacing.as_millis_f64()).max(0.0))
-        .unwrap_or(0.0);
+    let pmb_ms = campaign.report.mean_pmb().map_or(0.0, |d| {
+        (d.as_millis_f64() - pacing.as_millis_f64()).max(0.0)
+    });
     println!(
         "attacker: {} bursts, {} requests total, {} bots, mean millibottleneck {:.0} ms \
          (stealth goal: <= 500 ms)",
