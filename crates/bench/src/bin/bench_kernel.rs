@@ -16,9 +16,44 @@
 use bench::{kernel_offset_micros, xorshift64, HOLD_PENDING};
 use callgraph::{RequestTypeId, ServiceSpec, TopologyBuilder};
 use microsim::agents::FixedRate;
-use microsim::{SimConfig, Simulation};
+use microsim::{Metrics, Origin, SimConfig, Simulation};
 use simnet::{EventQueue, HeapEventQueue, SimDuration, SimTime};
 use std::time::Instant;
+use telemetry::{LatencySummary, Traffic};
+
+/// Counting global allocator (only with `--features alloc-count`): wraps the
+/// system allocator and counts `alloc`/`realloc` calls so the steady-state
+/// section can report allocations per simulated request.
+#[cfg(feature = "alloc-count")]
+mod alloc_count {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// Total `alloc` + `realloc` calls since process start.
+    pub static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+    /// The system allocator plus a relaxed counter bump per allocation.
+    pub struct CountingAlloc;
+
+    unsafe impl GlobalAlloc for CountingAlloc {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            System.alloc(layout)
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            System.dealloc(ptr, layout);
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            System.realloc(ptr, layout, new_size)
+        }
+    }
+
+    #[global_allocator]
+    static GLOBAL: CountingAlloc = CountingAlloc;
+}
 
 /// Hold-model program (the kernel's steady-state access pattern): keep a
 /// paper-cell-scale pending population, pop the earliest and reschedule a
@@ -96,6 +131,37 @@ fn kernel_steady_state() -> u64 {
     sim.metrics().request_log().len() as u64
 }
 
+/// Runs the 3-stage chain at 500 req/s (plus a 50 req/s attack source, so
+/// the request log carries both origins) for `secs` simulated seconds and
+/// returns the warm simulation.
+fn warm_sim(secs: u64) -> Simulation {
+    let mut sim = Simulation::new(chain_topology(), SimConfig::default().access_log(false));
+    sim.add_agent(Box::new(FixedRate::new(
+        RequestTypeId::new(0),
+        SimDuration::from_micros(2_000),
+        500 * secs,
+    )));
+    sim.add_agent(Box::new(
+        FixedRate::new(
+            RequestTypeId::new(0),
+            SimDuration::from_micros(20_000),
+            50 * secs,
+        )
+        .with_origin(Origin::attack(1, 1)),
+    ));
+    sim.run_until(SimTime::from_secs(secs));
+    sim
+}
+
+/// What a pre-COW `Metrics` clone had to do: copy every record of every log
+/// into freshly allocated storage. The baseline for the fork-cost section.
+fn deep_copy_metrics(m: &Metrics) -> u64 {
+    let requests: Vec<_> = m.request_log().iter().copied().collect();
+    let services: Vec<_> = m.windows().flat_map(|row| row.iter().copied()).collect();
+    let network: Vec<_> = m.network_windows().copied().collect();
+    (requests.len() + services.len() + network.len()) as u64
+}
+
 /// The smoke test behind `--check`: asserts the two invariants this crate's
 /// numbers rely on, fast enough for CI.
 fn check() {
@@ -144,6 +210,31 @@ fn check() {
         panic!(
             "forked campaign diverges from cold re-simulation (first divergent report line above)"
         );
+    }
+
+    eprintln!("== check: indexed latency summaries match the naive scan ==");
+    let m = forked.sim.metrics();
+    let horizon = SimTime::from_secs(120);
+    for traffic in [Traffic::All, Traffic::Legit, Traffic::Attack] {
+        for request_type in [
+            None,
+            Some(RequestTypeId::new(0)),
+            Some(RequestTypeId::new(3)),
+        ] {
+            for (from, to) in [
+                (SimTime::ZERO, horizon),
+                (SimTime::from_secs(25), SimTime::from_secs(45)),
+                (SimTime::from_millis(10_500), SimTime::from_millis(11_750)),
+            ] {
+                let fast = LatencySummary::compute(m, traffic, request_type, from, to);
+                let naive = LatencySummary::compute_naive(m, traffic, request_type, from, to);
+                assert!(
+                    fast == naive,
+                    "indexed summary diverges from naive ({traffic:?}, {request_type:?}, \
+                     [{from}, {to})): {fast:?} != {naive:?}"
+                );
+            }
+        }
     }
     eprintln!("check OK");
 }
@@ -260,6 +351,81 @@ fn main() {
         per_call_ns / batched_ns
     );
 
+    eprintln!("== metrics fork cost: COW clone vs deep copy, short vs long prefix ==");
+    let short = warm_sim(5);
+    let long = warm_sim(40);
+    let short_requests = short.metrics().request_log().len();
+    let long_requests = long.metrics().request_log().len();
+    // The COW clone is what Kernel::clone does on every snapshot/fork:
+    // sealed log segments are shared by Arc bump, only the bounded mutable
+    // tails are copied, so the cost is independent of how long the warm
+    // prefix ran.
+    let fork_short_ns = time_ns(|| short.metrics().clone().request_log().len() as u64, 300);
+    let fork_long_ns = time_ns(|| long.metrics().clone().request_log().len() as u64, 300);
+    let deep_long_ns = time_ns(|| deep_copy_metrics(long.metrics()), 300);
+    let fork_vs_deep = deep_long_ns / fork_long_ns;
+    let snap_long = long.checkpoint().expect("FixedRate supports snapshotting");
+    let sim_fork_ns = time_ns(
+        || {
+            let fork = Simulation::from_snapshot(&snap_long);
+            fork.pending_events() as u64
+        },
+        300,
+    );
+    eprintln!(
+        "   COW clone {:.1} us ({short_requests} reqs) / {:.1} us ({long_requests} reqs), \
+         deep copy {:.1} us, speedup {fork_vs_deep:.1}x; full sim fork {:.1} us \
+         (agent snapshot state still scales with samples)",
+        fork_short_ns / 1e3,
+        fork_long_ns / 1e3,
+        deep_long_ns / 1e3,
+        sim_fork_ns / 1e3
+    );
+
+    eprintln!("== analysis window query: indexed vs naive full scan ==");
+    let m = long.metrics();
+    // The Monitor's shape of query: attack-only latencies over a short
+    // window. The posting lists slice straight to the ~9% matching records
+    // while the naive path scans and filters the whole log.
+    let (q_from, q_to) = (SimTime::from_secs(20), SimTime::from_secs(25));
+    assert_eq!(
+        LatencySummary::compute(m, Traffic::Attack, None, q_from, q_to),
+        LatencySummary::compute_naive(m, Traffic::Attack, None, q_from, q_to),
+        "indexed summary must match the naive reference"
+    );
+    let matching = LatencySummary::compute(m, Traffic::Attack, None, q_from, q_to).count;
+    let indexed_ns = time_ns(
+        || LatencySummary::compute(m, Traffic::Attack, None, q_from, q_to).count as u64,
+        300,
+    );
+    let naive_ns = time_ns(
+        || LatencySummary::compute_naive(m, Traffic::Attack, None, q_from, q_to).count as u64,
+        300,
+    );
+    let query_speedup = naive_ns / indexed_ns;
+    eprintln!(
+        "   indexed {:.1} us, naive {:.1} us, speedup {query_speedup:.1}x \
+         ({matching} of {long_requests} records match)",
+        indexed_ns / 1e3,
+        naive_ns / 1e3
+    );
+
+    #[cfg(feature = "alloc-count")]
+    let allocs = {
+        use std::sync::atomic::Ordering;
+        eprintln!("== allocations per request (counting global allocator) ==");
+        std::hint::black_box(kernel_steady_state()); // warm up
+        let before = alloc_count::ALLOCS.load(Ordering::Relaxed);
+        let counted_requests = kernel_steady_state();
+        let after = alloc_count::ALLOCS.load(Ordering::Relaxed);
+        let per_request = (after - before) as f64 / counted_requests as f64;
+        eprintln!(
+            "   {} allocations / {counted_requests} requests = {per_request:.1} per request",
+            after - before
+        );
+        (after - before, counted_requests, per_request)
+    };
+
     let snapshot_fork = if quick {
         eprintln!("== skipping snapshot fork slice (--quick) ==");
         None
@@ -327,11 +493,33 @@ fn main() {
         "  \"kernel_steady_state\": {{\n    \"requests_per_wall_second\": {req_per_sec:.0},\n    \"sim_seconds_per_wall_second\": {sim_speed:.1}\n  }},\n"
     ));
     json.push_str(&format!(
-        "  \"demand_rng_batching\": {{\n    \"per_call_ns_per_draw\": {:.2},\n    \"batched_ns_per_draw\": {:.2},\n    \"speedup\": {:.3}\n  }}",
+        "  \"demand_rng_batching\": {{\n    \"per_call_ns_per_draw\": {:.2},\n    \"batched_ns_per_draw\": {:.2},\n    \"speedup\": {:.3}\n  }},\n",
         per_call_ns,
         batched_ns,
         per_call_ns / batched_ns
     ));
+    json.push_str(&format!(
+        "  \"fork_cost\": {{\n    \"short_prefix_requests\": {short_requests},\n    \"long_prefix_requests\": {long_requests},\n    \"metrics_fork_short_us\": {:.2},\n    \"metrics_fork_long_us\": {:.2},\n    \"metrics_deep_copy_long_us\": {:.2},\n    \"metrics_fork_vs_deep_copy_speedup\": {:.3},\n    \"long_vs_short_fork_ratio\": {:.3},\n    \"sim_fork_long_us\": {:.2}\n  }},\n",
+        fork_short_ns / 1e3,
+        fork_long_ns / 1e3,
+        deep_long_ns / 1e3,
+        fork_vs_deep,
+        fork_long_ns / fork_short_ns,
+        sim_fork_ns / 1e3
+    ));
+    json.push_str(&format!(
+        "  \"analysis_window_query\": {{\n    \"records\": {long_requests},\n    \"matching\": {matching},\n    \"indexed_us\": {:.2},\n    \"naive_us\": {:.2},\n    \"speedup\": {:.3}\n  }}",
+        indexed_ns / 1e3,
+        naive_ns / 1e3,
+        query_speedup
+    ));
+    #[cfg(feature = "alloc-count")]
+    {
+        let (count, counted_requests, per_request) = allocs;
+        json.push_str(&format!(
+            ",\n  \"allocs_per_request\": {{\n    \"allocations\": {count},\n    \"requests\": {counted_requests},\n    \"per_request\": {per_request:.2}\n  }}"
+        ));
+    }
     if let Some((cold_secs, forked_secs)) = snapshot_fork {
         json.push_str(&format!(
             ",\n  \"table1_param_sweep_fork\": {{\n    \"cells\": {},\n    \"cold_secs\": {:.2},\n    \"forked_secs\": {:.2},\n    \"speedup\": {:.3}\n  }}",

@@ -168,21 +168,10 @@ fn main() {
             .fold(0.0, f64::max);
         println!("  {name:18} base={base_u:.2} attack={att_u:.2} peak1s={peak:.2}");
     }
-    let net_base: f64 = m
-        .network_windows()
-        .iter()
-        .take(300)
-        .map(microsim::metrics::NetworkWindow::total_mb)
-        .sum::<f64>()
-        / 30.0;
-    let wins = m.network_windows();
+    let net_base: f64 = m.network_total_mb(0, 300) / 30.0;
     let a0i = (a0.as_millis() / 100) as usize;
-    let a1i = ((a1.as_millis() / 100) as usize).min(wins.len());
-    let net_att: f64 = wins[a0i..a1i]
-        .iter()
-        .map(microsim::metrics::NetworkWindow::total_mb)
-        .sum::<f64>()
-        / ((a1i - a0i) as f64 / 10.0);
+    let a1i = ((a1.as_millis() / 100) as usize).min(m.num_windows());
+    let net_att: f64 = m.network_total_mb(a0i, a1i) / ((a1i - a0i) as f64 / 10.0);
     println!("net MB/s: base={net_base:.2} attack={net_att:.2}");
     // white-box millibottlenecks during attack
     let mbs = telemetry::find_millibottlenecks(m, 0.95);

@@ -295,15 +295,13 @@ impl AttackRun {
         let w = self.metrics().window();
         let per_sec = 1.0 / w.as_secs_f64();
         let lo = (from.as_micros() / w.as_micros()) as usize;
-        let hi =
-            ((to.as_micros() / w.as_micros()) as usize).min(self.metrics().network_windows().len());
+        let hi = ((to.as_micros() / w.as_micros()) as usize).min(self.metrics().num_windows());
         if hi <= lo {
             return 0.0;
         }
-        let total: f64 = self.metrics().network_windows()[lo..hi]
-            .iter()
-            .map(microsim::metrics::NetworkWindow::total_mb)
-            .sum();
+        // Indexed sum over exactly the windows `[lo, hi)`, in time order —
+        // bit-identical to the slice sum this replaced.
+        let total: f64 = self.metrics().network_total_mb(lo, hi);
         total * per_sec / (hi - lo) as f64
     }
 

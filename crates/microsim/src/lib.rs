@@ -64,6 +64,7 @@ pub mod job;
 pub mod kernel;
 pub mod metrics;
 pub mod replica;
+pub mod seglog;
 pub mod service;
 pub mod sim;
 pub mod snapshot;
@@ -73,5 +74,6 @@ pub use autoscale::{AutoScalePolicy, ScalingAction, ScalingDirection};
 pub use config::{PlatformProfile, SimConfig};
 pub use job::{Origin, Response};
 pub use metrics::{AccessLogEntry, Metrics, RequestRecord, ServiceWindow};
+pub use seglog::{RequestFilter, RequestLog, SegLog, WindowLog};
 pub use sim::Simulation;
 pub use snapshot::{AgentState, SimSnapshot, Snapshot, SnapshotError};

@@ -6,6 +6,11 @@
 //! analysis). Coarser views — the 1 s CloudWatch granularity that the
 //! auto-scaler and the resource-based IDS rules see — are aggregations of
 //! these windows provided by the `telemetry` crate.
+//!
+//! All append-only logs are stored as copy-on-write segmented logs (see
+//! [`crate::seglog`]): warm-state forks share the sealed prefix behind
+//! `Arc` instead of deep-copying it, and the request log carries
+//! per-segment indexes so telemetry queries touch only matching records.
 
 use callgraph::{ExecutionHistory, RequestTypeId, ServiceId};
 use serde::{Deserialize, Serialize};
@@ -13,6 +18,7 @@ use simnet::{SimDuration, SimTime};
 
 use crate::autoscale::ScalingAction;
 use crate::job::Origin;
+use crate::seglog::{RequestLog, SegLog, WindowLog, SEG_CAP};
 
 /// Per-service measurements for one sampling window.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -99,19 +105,24 @@ impl NetworkWindow {
 }
 
 /// Everything recorded during a simulation run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// `Metrics` deliberately does **not** derive `Clone`: the snapshot path
+/// clones it per fork, and the copy-on-write sharing of the segmented logs
+/// is written out field by field in `crate::snapshot` where `simlint`'s
+/// `snapshot-complete` rule cross-checks it against this field list.
+#[derive(Debug, PartialEq, Serialize, Deserialize)]
 pub struct Metrics {
-    window: SimDuration,
-    num_services: usize,
-    /// Flat row-major window samples: entry `w * num_services + s` is the
-    /// sample of service `s` in window `w`. One allocation for the whole
-    /// run instead of one per window.
-    service_windows: Vec<ServiceWindow>,
-    network_windows: Vec<NetworkWindow>,
-    request_log: Vec<RequestRecord>,
-    access_log: Vec<AccessLogEntry>,
-    scaling_actions: Vec<ScalingAction>,
-    traces: Vec<(RequestTypeId, ExecutionHistory)>,
+    pub(crate) window: SimDuration,
+    pub(crate) num_services: usize,
+    /// Sampled monitoring windows: per-service rows (row `w` starts at
+    /// exactly `w * window`) plus the parallel gateway network series.
+    pub(crate) windows: WindowLog,
+    /// Every completed request, ordered by completion time, with
+    /// per-segment indexes by request type and origin class.
+    pub(crate) request_log: RequestLog,
+    pub(crate) access_log: SegLog<AccessLogEntry>,
+    pub(crate) scaling_actions: Vec<ScalingAction>,
+    pub(crate) traces: SegLog<(RequestTypeId, ExecutionHistory)>,
 }
 
 impl Metrics {
@@ -119,12 +130,11 @@ impl Metrics {
         Metrics {
             window,
             num_services,
-            service_windows: Vec::new(),
-            network_windows: Vec::new(),
-            request_log: Vec::new(),
-            access_log: Vec::new(),
+            windows: WindowLog::new(num_services),
+            request_log: RequestLog::new(),
+            access_log: SegLog::new(SEG_CAP),
             scaling_actions: Vec::new(),
-            traces: Vec::new(),
+            traces: SegLog::new(SEG_CAP),
         }
     }
 
@@ -138,34 +148,46 @@ impl Metrics {
         self.num_services
     }
 
-    /// All sampled windows, one row (slice of `num_services` samples) per
-    /// window. The iterator is exact-size, so `windows().len()` is the
-    /// window count.
-    pub fn windows(&self) -> std::slice::ChunksExact<'_, ServiceWindow> {
-        self.service_windows.chunks_exact(self.num_services.max(1))
+    /// Number of sampled windows so far.
+    pub fn num_windows(&self) -> usize {
+        self.windows.rows()
+    }
+
+    /// All sampled windows in time order, one row (slice of `num_services`
+    /// samples) per window.
+    pub fn windows(&self) -> impl Iterator<Item = &[ServiceWindow]> + '_ {
+        self.windows.rows_iter()
     }
 
     /// The per-window gateway traffic series (same indexing as
     /// [`Metrics::windows`]).
-    pub fn network_windows(&self) -> &[NetworkWindow] {
-        &self.network_windows
+    pub fn network_windows(&self) -> impl Iterator<Item = &NetworkWindow> + '_ {
+        self.windows.network_range(0, self.windows.rows())
+    }
+
+    /// Sum of [`NetworkWindow::total_mb`] over the window-index range
+    /// `[lo, hi)` (clamped to the sampled windows), accumulated in time
+    /// order.
+    pub fn network_total_mb(&self, lo: usize, hi: usize) -> f64 {
+        self.windows
+            .network_range(lo, hi)
+            .map(NetworkWindow::total_mb)
+            .sum()
     }
 
     /// The time series of one service across all windows.
     pub fn service_series(&self, service: ServiceId) -> impl Iterator<Item = &ServiceWindow> + '_ {
-        self.service_windows
-            .iter()
-            .skip(service.index())
-            .step_by(self.num_services.max(1))
+        self.windows
+            .service_range(service.index(), 0, self.windows.rows())
     }
 
-    /// Every completed request.
-    pub fn request_log(&self) -> &[RequestRecord] {
+    /// Every completed request, with indexed time/type/origin queries.
+    pub fn request_log(&self) -> &RequestLog {
         &self.request_log
     }
 
     /// Every external submission (empty when the access log is disabled).
-    pub fn access_log(&self) -> &[AccessLogEntry] {
+    pub fn access_log(&self) -> &SegLog<AccessLogEntry> {
         &self.access_log
     }
 
@@ -175,33 +197,36 @@ impl Metrics {
     }
 
     /// Sampled span trees, with the request type that produced each.
-    pub fn traces(&self) -> &[(RequestTypeId, ExecutionHistory)] {
+    pub fn traces(&self) -> &SegLog<(RequestTypeId, ExecutionHistory)> {
         &self.traces
     }
 
     /// Mean CPU utilisation of a service over `[from, to)`.
+    ///
+    /// Window `w` starts at exactly `w * window`, so the windows whose
+    /// start lies in `[from, to)` are the index range
+    /// `[⌈from/window⌉, ⌈to/window⌉)`: locating them is O(1) and only the
+    /// matching windows are touched. The accumulation order (time order)
+    /// matches a filtering scan, so results are bit-identical to one.
     pub fn mean_utilization(&self, service: ServiceId, from: SimTime, to: SimTime) -> f64 {
+        let w = self.window.as_micros();
+        let lo = from.as_micros().div_ceil(w) as usize;
+        let hi = (to.as_micros().div_ceil(w) as usize).min(self.windows.rows());
+        if hi <= lo {
+            return 0.0;
+        }
         let mut total = 0.0;
-        let mut n = 0u32;
-        for s in self.service_series(service) {
-            if s.start >= from && s.start < to {
-                total += s.utilization(self.window);
-                n += 1;
-            }
+        for s in self.windows.service_range(service.index(), lo, hi) {
+            total += s.utilization(self.window);
         }
-        if n == 0 {
-            0.0
-        } else {
-            total / f64::from(n)
-        }
+        total / (hi - lo) as f64
     }
 
     // Internal recording API (used by the kernel).
 
     pub(crate) fn push_window(&mut self, services: &[ServiceWindow], network: NetworkWindow) {
         debug_assert_eq!(services.len(), self.num_services);
-        self.service_windows.extend_from_slice(services);
-        self.network_windows.push(network);
+        self.windows.push_row(services, network);
     }
 
     pub(crate) fn record_request(&mut self, rec: RequestRecord) {
@@ -301,11 +326,81 @@ mod tests {
     }
 
     #[test]
+    fn mean_utilization_unaligned_bounds_match_scan() {
+        // Bounds that are not multiples of the window: the index range
+        // must select exactly the windows a `start >= from && start < to`
+        // scan selects.
+        let mut m = Metrics::new(SimDuration::from_millis(100), 1);
+        for i in 0..10u64 {
+            m.push_window(
+                &[ServiceWindow {
+                    start: SimTime::from_millis(i * 100),
+                    busy: SimDuration::from_millis(if i % 2 == 0 { 100 } else { 0 }),
+                    active_cores: 1,
+                    admitted: 0,
+                    waiting: 0,
+                    arrivals: 0,
+                    completions: 0,
+                    replicas: 1,
+                }],
+                NetworkWindow::default(),
+            );
+        }
+        let svc = ServiceId::new(0);
+        for (from_ms, to_ms) in [(0, 1000), (50, 1000), (150, 850), (149, 851), (900, 5000)] {
+            let from = SimTime::from_millis(from_ms);
+            let to = SimTime::from_millis(to_ms);
+            let mut total = 0.0;
+            let mut n = 0u32;
+            for s in m.service_series(svc) {
+                if s.start >= from && s.start < to {
+                    total += s.utilization(m.window());
+                    n += 1;
+                }
+            }
+            let expect = if n == 0 { 0.0 } else { total / f64::from(n) };
+            assert_eq!(
+                m.mean_utilization(svc, from, to),
+                expect,
+                "[{from_ms}, {to_ms})"
+            );
+        }
+    }
+
+    #[test]
     fn network_window_total() {
         let n = NetworkWindow {
             bytes_in: 400_000,
             bytes_out: 600_000,
         };
         assert_eq!(n.total_mb(), 1.0);
+    }
+
+    #[test]
+    fn network_total_mb_sums_clamped_range() {
+        let mut m = Metrics::new(SimDuration::from_millis(100), 1);
+        for i in 0..5u64 {
+            m.push_window(
+                &[ServiceWindow {
+                    start: SimTime::from_millis(i * 100),
+                    busy: SimDuration::ZERO,
+                    active_cores: 1,
+                    admitted: 0,
+                    waiting: 0,
+                    arrivals: 0,
+                    completions: 0,
+                    replicas: 1,
+                }],
+                NetworkWindow {
+                    bytes_in: 1_000_000,
+                    bytes_out: 0,
+                },
+            );
+        }
+        assert_eq!(m.num_windows(), 5);
+        assert_eq!(m.network_total_mb(0, 5), 5.0);
+        assert_eq!(m.network_total_mb(3, 100), 2.0);
+        assert_eq!(m.network_total_mb(4, 2), 0.0);
+        assert_eq!(m.network_windows().count(), 5);
     }
 }

@@ -1,0 +1,896 @@
+//! Copy-on-write segmented logs and per-segment query indexes.
+//!
+//! `Metrics` grows append-only for an entire run, but warm-state forking
+//! (`snapshot` module) clones it once per sweep cell. Storing each log as a
+//! plain `Vec` makes that clone — and therefore every fork — O(run length).
+//! This module stores logs as **sealed immutable segments** behind [`Arc`]
+//! plus one bounded mutable tail:
+//!
+//! ```text
+//!   SegLog<T>:  [Arc seg0][Arc seg1]...[Arc segN] | tail (< seg_cap items)
+//!                  shared on clone (refcount bump)  | copied on clone
+//! ```
+//!
+//! Cloning shares the sealed prefix by reference, so a fork costs
+//! O(segments + tail) instead of O(records). Sealing happens at a fixed
+//! append count (`seg_cap`), making segment boundaries a pure function of
+//! how many records were pushed — a forked run and a cold run that record
+//! the same history produce structurally identical logs.
+//!
+//! **COW invariants.** A sealed segment is never mutated: appends go to the
+//! tail only, and sealing moves the tail into a *new* `Arc`. Two clones can
+//! therefore never observe each other's writes; writers never copy shared
+//! data because the tail is always uniquely owned.
+//!
+//! On top of the request log, [`RequestLog`] builds a small per-segment
+//! index at seal time (CSR posting lists keyed by request type, by origin
+//! class, and by both) so telemetry queries touch only matching records.
+//! Records are appended in completion order, so each posting list is
+//! chronologically sorted and time ranges resolve with binary search.
+//! Queries stream matches in exactly the order a naive full scan would
+//! visit them, which keeps downstream floating-point accumulations (means,
+//! percentile sorts) **bit-identical** to the unindexed implementation.
+
+use std::fmt;
+use std::sync::Arc;
+
+use callgraph::RequestTypeId;
+use serde::{DeError, Deserialize, Serialize, Value};
+use simnet::SimTime;
+
+use crate::metrics::{NetworkWindow, RequestRecord, ServiceWindow};
+
+/// Records per sealed segment of the request/access/trace logs.
+///
+/// Fixed (rather than adaptive) so that segmentation is deterministic in
+/// the record count; large enough that per-segment overhead (Arc, index
+/// headers) is negligible, small enough that the mutable tail copied on
+/// fork stays tiny.
+pub const SEG_CAP: usize = 4096;
+
+/// Window rows per sealed segment of the [`WindowLog`].
+pub const ROWS_PER_SEG: usize = 1024;
+
+/// An append-only copy-on-write log: sealed `Arc` segments plus a bounded
+/// mutable tail. See the module docs for the layout and COW invariants.
+///
+/// Equality and `Debug` are *logical*: two logs with the same records
+/// compare equal regardless of how clones share their segments.
+#[derive(Clone)]
+pub struct SegLog<T> {
+    /// Sealed segments, each exactly `seg_cap` items.
+    sealed: Vec<Arc<Vec<T>>>,
+    /// Uniquely-owned mutable tail, always shorter than `seg_cap`.
+    tail: Vec<T>,
+    /// Seal threshold.
+    seg_cap: usize,
+}
+
+impl<T> SegLog<T> {
+    /// Creates an empty log sealing every `seg_cap` items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seg_cap` is zero.
+    pub fn new(seg_cap: usize) -> Self {
+        assert!(seg_cap > 0, "segment capacity must be positive");
+        SegLog {
+            sealed: Vec::new(),
+            tail: Vec::new(),
+            seg_cap,
+        }
+    }
+
+    /// Appends one item, sealing the tail into an immutable segment when it
+    /// reaches the threshold.
+    pub fn push(&mut self, item: T) {
+        self.tail.push(item);
+        if self.tail.len() == self.seg_cap {
+            let seg = std::mem::replace(&mut self.tail, Vec::with_capacity(self.seg_cap));
+            self.sealed.push(Arc::new(seg));
+        }
+    }
+
+    /// Total number of items.
+    pub fn len(&self) -> usize {
+        self.sealed.len() * self.seg_cap + self.tail.len()
+    }
+
+    /// `true` when nothing was appended yet.
+    pub fn is_empty(&self) -> bool {
+        self.sealed.is_empty() && self.tail.is_empty()
+    }
+
+    /// The item at `index`, if any. O(1): sealed segments all have exactly
+    /// `seg_cap` items.
+    pub fn get(&self, index: usize) -> Option<&T> {
+        let sealed_len = self.sealed.len() * self.seg_cap;
+        if index < sealed_len {
+            Some(&self.sealed[index / self.seg_cap][index % self.seg_cap])
+        } else {
+            self.tail.get(index - sealed_len)
+        }
+    }
+
+    /// The most recently appended item.
+    pub fn last(&self) -> Option<&T> {
+        self.tail
+            .last()
+            .or_else(|| self.sealed.last().and_then(|s| s.last()))
+    }
+
+    /// Iterates all items in append order.
+    pub fn iter(&self) -> SegLogIter<'_, T> {
+        SegLogIter {
+            remaining: self.len(),
+            segs: self.sealed.iter(),
+            cur: [].iter(),
+            tail: Some(&self.tail),
+        }
+    }
+
+    /// The contiguous storage slabs in order: each sealed segment, then the
+    /// tail. Concatenated they are the whole log.
+    pub(crate) fn slabs(&self) -> impl Iterator<Item = &[T]> + '_ {
+        self.sealed
+            .iter()
+            .map(|s| s.as_slice())
+            .chain(std::iter::once(self.tail.as_slice()))
+    }
+
+    /// Sealed segments (shared on clone), for index maintenance.
+    fn sealed(&self) -> &[Arc<Vec<T>>] {
+        &self.sealed
+    }
+
+    /// The mutable tail (uniquely owned).
+    fn tail(&self) -> &[T] {
+        &self.tail
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for SegLog<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.iter()).finish()
+    }
+}
+
+impl<T: PartialEq> PartialEq for SegLog<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.len() == other.len() && self.iter().eq(other.iter())
+    }
+}
+
+impl<T> std::ops::Index<usize> for SegLog<T> {
+    type Output = T;
+
+    fn index(&self, index: usize) -> &T {
+        self.get(index).expect("SegLog index out of bounds")
+    }
+}
+
+impl<'a, T> IntoIterator for &'a SegLog<T> {
+    type Item = &'a T;
+    type IntoIter = SegLogIter<'a, T>;
+
+    fn into_iter(self) -> SegLogIter<'a, T> {
+        self.iter()
+    }
+}
+
+impl<T: Serialize> Serialize for SegLog<T> {
+    fn to_value(&self) -> Value {
+        // Flat logical sequence: segmentation is an in-memory layout
+        // detail, rebuilt deterministically on deserialization.
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for SegLog<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let items = Vec::<T>::from_value(value)?;
+        let mut log = SegLog::new(SEG_CAP);
+        for item in items {
+            log.push(item);
+        }
+        Ok(log)
+    }
+}
+
+/// Iterator over a [`SegLog`] in append order.
+#[derive(Debug)]
+pub struct SegLogIter<'a, T> {
+    remaining: usize,
+    segs: std::slice::Iter<'a, Arc<Vec<T>>>,
+    cur: std::slice::Iter<'a, T>,
+    tail: Option<&'a [T]>,
+}
+
+impl<'a, T> Iterator for SegLogIter<'a, T> {
+    type Item = &'a T;
+
+    fn next(&mut self) -> Option<&'a T> {
+        loop {
+            if let Some(item) = self.cur.next() {
+                self.remaining -= 1;
+                return Some(item);
+            }
+            if let Some(seg) = self.segs.next() {
+                self.cur = seg.iter();
+            } else if let Some(tail) = self.tail.take() {
+                self.cur = tail.iter();
+            } else {
+                return None;
+            }
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl<T> ExactSizeIterator for SegLogIter<'_, T> {}
+
+/// A filter over request-log records for indexed queries.
+///
+/// `None` fields match everything; `Default` is the unfiltered query.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RequestFilter {
+    /// Restrict to attack (`Some(true)`) or legitimate (`Some(false)`)
+    /// traffic.
+    pub is_attack: Option<bool>,
+    /// Restrict to one request type.
+    pub request_type: Option<RequestTypeId>,
+}
+
+impl RequestFilter {
+    /// Whether a record passes this filter (time range excluded).
+    pub fn matches(self, rec: &RequestRecord) -> bool {
+        self.is_attack.is_none_or(|a| rec.origin.is_attack == a)
+            && self.request_type.is_none_or(|t| rec.request_type == t)
+    }
+}
+
+/// Compressed-sparse-row posting lists: `group(k)` is the ascending list of
+/// record offsets whose key is `k`.
+#[derive(Debug)]
+struct Csr {
+    /// `starts[k]..starts[k + 1]` delimits group `k` inside `offsets`.
+    starts: Vec<u32>,
+    /// Record offsets, grouped by key, ascending within each group.
+    offsets: Vec<u32>,
+}
+
+impl Csr {
+    /// Builds posting lists over `records` with a counting sort (stable, so
+    /// offsets stay ascending — i.e. chronological — within each group).
+    fn build(records: &[RequestRecord], key: impl Fn(&RequestRecord) -> usize) -> Csr {
+        let groups = records.iter().map(&key).max().map_or(0, |m| m + 1);
+        let mut starts = vec![0u32; groups + 1];
+        for rec in records {
+            starts[key(rec) + 1] += 1;
+        }
+        for g in 0..groups {
+            starts[g + 1] += starts[g];
+        }
+        let mut cursor = starts.clone();
+        let mut offsets = vec![0u32; records.len()];
+        for (i, rec) in records.iter().enumerate() {
+            let k = key(rec);
+            offsets[cursor[k] as usize] = i as u32;
+            cursor[k] += 1;
+        }
+        Csr { starts, offsets }
+    }
+
+    /// The ascending offsets of group `k` (empty when `k` never occurred).
+    fn group(&self, k: usize) -> &[u32] {
+        if k + 1 >= self.starts.len() {
+            return &[];
+        }
+        &self.offsets[self.starts[k] as usize..self.starts[k + 1] as usize]
+    }
+}
+
+/// Per-sealed-segment query index, built once at seal time and shared
+/// (behind `Arc`) between clones exactly like the segment it describes.
+#[derive(Debug)]
+struct SegIndex {
+    /// Completion time of the segment's first record.
+    first: SimTime,
+    /// Completion time of the segment's last record.
+    last: SimTime,
+    /// Offsets keyed by `request_type.index()`.
+    by_type: Csr,
+    /// Offsets keyed by `origin.is_attack` (0 = legit, 1 = attack).
+    by_origin: Csr,
+    /// Offsets keyed by `request_type.index() * 2 + is_attack`.
+    by_type_origin: Csr,
+}
+
+impl SegIndex {
+    fn build(records: &[RequestRecord]) -> SegIndex {
+        SegIndex {
+            first: records.first().map_or(SimTime::ZERO, |r| r.completed_at),
+            last: records.last().map_or(SimTime::ZERO, |r| r.completed_at),
+            by_type: Csr::build(records, |r| r.request_type.index()),
+            by_origin: Csr::build(records, |r| usize::from(r.origin.is_attack)),
+            by_type_origin: Csr::build(records, |r| {
+                r.request_type.index() * 2 + usize::from(r.origin.is_attack)
+            }),
+        }
+    }
+
+    /// The posting list matching `filter`, or `None` for "every record".
+    fn group(&self, filter: RequestFilter) -> Option<&[u32]> {
+        match (filter.is_attack, filter.request_type) {
+            (None, None) => None,
+            (Some(a), None) => Some(self.by_origin.group(usize::from(a))),
+            (None, Some(t)) => Some(self.by_type.group(t.index())),
+            (Some(a), Some(t)) => Some(self.by_type_origin.group(t.index() * 2 + usize::from(a))),
+        }
+    }
+}
+
+/// The completed-request log: a [`SegLog`] of [`RequestRecord`]s plus a
+/// per-segment [`SegIndex`] so queries touch only matching records.
+///
+/// Records are appended in completion order (the kernel records a request
+/// when its response event fires, and events fire in time order), so the
+/// log is sorted by `completed_at` — the invariant every binary search here
+/// relies on, asserted on push in debug builds.
+#[derive(Clone)]
+pub struct RequestLog {
+    records: SegLog<RequestRecord>,
+    /// `indexes[i]` describes `records`' sealed segment `i`.
+    indexes: Vec<Arc<SegIndex>>,
+}
+
+impl RequestLog {
+    /// Creates an empty log with the default segment capacity.
+    pub(crate) fn new() -> Self {
+        Self::with_seg_cap(SEG_CAP)
+    }
+
+    /// Creates an empty log sealing every `seg_cap` records (small caps are
+    /// used by tests to exercise many segments cheaply).
+    pub(crate) fn with_seg_cap(seg_cap: usize) -> Self {
+        RequestLog {
+            records: SegLog::new(seg_cap),
+            indexes: Vec::new(),
+        }
+    }
+
+    /// Appends one record; must be called in completion-time order.
+    pub(crate) fn push(&mut self, rec: RequestRecord) {
+        debug_assert!(
+            self.records
+                .last()
+                .is_none_or(|prev| prev.completed_at <= rec.completed_at),
+            "request log must be appended in completion order"
+        );
+        self.records.push(rec);
+        while self.indexes.len() < self.records.sealed().len() {
+            let seg = &self.records.sealed()[self.indexes.len()];
+            self.indexes.push(Arc::new(SegIndex::build(seg)));
+        }
+    }
+
+    /// Number of completed requests.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// `true` when no request completed yet.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The record at `index` (append order), if any.
+    pub fn get(&self, index: usize) -> Option<&RequestRecord> {
+        self.records.get(index)
+    }
+
+    /// Iterates all records in completion order.
+    pub fn iter(&self) -> SegLogIter<'_, RequestRecord> {
+        self.records.iter()
+    }
+
+    /// Number of records completed in `[from, to)` that pass `filter`.
+    ///
+    /// O(log) per sealed segment via the posting-list index; only the tail
+    /// (bounded by the segment capacity) is scanned.
+    pub fn count_matching(&self, from: SimTime, to: SimTime, filter: RequestFilter) -> usize {
+        let mut n = 0;
+        self.query(from, to, filter, |matched| n += matched.len());
+        n
+    }
+
+    /// Calls `f` for every record completed in `[from, to)` that passes
+    /// `filter`, **in completion order** — exactly the order a naive scan
+    /// of the full log would visit them, so float accumulations downstream
+    /// stay bit-identical to the unindexed implementation.
+    pub fn for_each_matching(
+        &self,
+        from: SimTime,
+        to: SimTime,
+        filter: RequestFilter,
+        mut f: impl FnMut(&RequestRecord),
+    ) {
+        self.query(from, to, filter, |matched| match matched {
+            Matched::Run(recs) => recs.iter().for_each(&mut f),
+            Matched::Posting(recs, offsets) => {
+                for &o in offsets {
+                    f(&recs[o as usize]);
+                }
+            }
+        });
+    }
+
+    /// Shared query walk: resolves `[from, to)` × `filter` to per-segment
+    /// match sets, visiting segments (then the tail) in order.
+    fn query(
+        &self,
+        from: SimTime,
+        to: SimTime,
+        filter: RequestFilter,
+        mut visit: impl FnMut(Matched<'_>),
+    ) {
+        if to <= from {
+            return;
+        }
+        for (seg, index) in self.records.sealed().iter().zip(&self.indexes) {
+            if index.last < from {
+                continue;
+            }
+            if index.first >= to {
+                break; // segments are chronological: nothing later matches
+            }
+            let recs = seg.as_slice();
+            match index.group(filter) {
+                None => {
+                    let lo = recs.partition_point(|r| r.completed_at < from);
+                    let hi = recs.partition_point(|r| r.completed_at < to);
+                    visit(Matched::Run(&recs[lo..hi]));
+                }
+                Some(offsets) => {
+                    let lo = offsets.partition_point(|&o| recs[o as usize].completed_at < from);
+                    let hi = offsets.partition_point(|&o| recs[o as usize].completed_at < to);
+                    visit(Matched::Posting(recs, &offsets[lo..hi]));
+                }
+            }
+        }
+        let tail = self.records.tail();
+        let lo = tail.partition_point(|r| r.completed_at < from);
+        let hi = tail.partition_point(|r| r.completed_at < to);
+        for rec in &tail[lo..hi] {
+            if filter.matches(rec) {
+                visit(Matched::Run(std::slice::from_ref(rec)));
+            }
+        }
+    }
+
+    #[cfg(test)]
+    fn sealed_segments(&self) -> &[Arc<Vec<RequestRecord>>] {
+        self.records.sealed()
+    }
+}
+
+/// One resolved match set inside a segment: either a contiguous run of
+/// records or a posting list of offsets into the segment.
+enum Matched<'a> {
+    Run(&'a [RequestRecord]),
+    Posting(&'a [RequestRecord], &'a [u32]),
+}
+
+impl Matched<'_> {
+    fn len(&self) -> usize {
+        match self {
+            Matched::Run(recs) => recs.len(),
+            Matched::Posting(_, offsets) => offsets.len(),
+        }
+    }
+}
+
+impl Serialize for RequestLog {
+    fn to_value(&self) -> Value {
+        // Records only: the per-segment indexes are derived data and are
+        // rebuilt while re-appending on deserialization.
+        self.records.to_value()
+    }
+}
+
+impl<'de> Deserialize<'de> for RequestLog {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let records = Vec::<RequestRecord>::from_value(value)?;
+        let mut log = RequestLog::new();
+        for rec in records {
+            log.push(rec);
+        }
+        Ok(log)
+    }
+}
+
+impl PartialEq for RequestLog {
+    fn eq(&self, other: &Self) -> bool {
+        // The indexes are a pure function of the records; comparing the
+        // records compares everything.
+        self.records == other.records
+    }
+}
+
+impl fmt::Debug for RequestLog {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Logical contents only: the derived-index structure is a pure
+        // function of the records and would just add noise (e.g. to the
+        // forked-vs-cold comparison reports in `bench_kernel --check`).
+        f.debug_list().entries(self.iter()).finish()
+    }
+}
+
+impl<'a> IntoIterator for &'a RequestLog {
+    type Item = &'a RequestRecord;
+    type IntoIter = SegLogIter<'a, RequestRecord>;
+
+    fn into_iter(self) -> SegLogIter<'a, RequestRecord> {
+        self.iter()
+    }
+}
+
+impl std::ops::Index<usize> for RequestLog {
+    type Output = RequestRecord;
+
+    fn index(&self, index: usize) -> &RequestRecord {
+        &self.records[index]
+    }
+}
+
+/// The sampled monitoring windows: per-service rows plus the parallel
+/// gateway network series, stored as aligned [`SegLog`]s.
+///
+/// Row `w` holds the `num_services` samples of window `w` (start time
+/// exactly `w * window`: the kernel samples on fixed boundaries), stored
+/// contiguously; the service segment capacity is a whole number of rows, so
+/// a row never straddles segments and row access is O(1).
+#[derive(Clone, PartialEq)]
+pub struct WindowLog {
+    num_services: usize,
+    rows_per_seg: usize,
+    /// Flat row-major service samples; segment capacity
+    /// `rows_per_seg * num_services`.
+    services: SegLog<ServiceWindow>,
+    /// One gateway sample per row; segment capacity `rows_per_seg`.
+    network: SegLog<NetworkWindow>,
+}
+
+impl WindowLog {
+    /// Creates an empty window log for `num_services` services.
+    pub(crate) fn new(num_services: usize) -> Self {
+        Self::with_rows_per_seg(num_services, ROWS_PER_SEG)
+    }
+
+    /// Creates an empty window log sealing every `rows_per_seg` rows.
+    pub(crate) fn with_rows_per_seg(num_services: usize, rows_per_seg: usize) -> Self {
+        WindowLog {
+            num_services,
+            rows_per_seg,
+            services: SegLog::new(rows_per_seg * num_services.max(1)),
+            network: SegLog::new(rows_per_seg),
+        }
+    }
+
+    /// Appends one row of service samples plus its network sample.
+    pub(crate) fn push_row(&mut self, services: &[ServiceWindow], network: NetworkWindow) {
+        debug_assert_eq!(services.len(), self.num_services);
+        for w in services {
+            self.services.push(*w);
+        }
+        self.network.push(network);
+    }
+
+    /// Number of sampled rows (windows).
+    pub fn rows(&self) -> usize {
+        self.network.len()
+    }
+
+    /// Iterates all rows in time order; each item is the row's
+    /// `num_services` samples.
+    pub fn rows_iter(&self) -> impl Iterator<Item = &[ServiceWindow]> + '_ {
+        let n = self.num_services.max(1);
+        self.services
+            .slabs()
+            .flat_map(move |slab| slab.chunks_exact(n))
+    }
+
+    /// One service's samples over the row range `[lo, hi)`, in time order.
+    /// Locating the range is O(1) per storage slab; iteration is
+    /// O(matching rows).
+    pub fn service_range(
+        &self,
+        service: usize,
+        lo: usize,
+        hi: usize,
+    ) -> impl Iterator<Item = &ServiceWindow> + '_ {
+        let n = self.num_services.max(1);
+        let per = self.rows_per_seg;
+        self.services
+            .slabs()
+            .enumerate()
+            .flat_map(move |(i, slab)| {
+                let base = i * per;
+                let rows = slab.len() / n;
+                let b = hi.clamp(base, base + rows) - base;
+                let a = (lo.clamp(base, base + rows) - base).min(b);
+                slab[a * n..b * n].iter().skip(service).step_by(n)
+            })
+    }
+
+    /// The network samples of the row range `[lo, hi)`, in time order.
+    pub fn network_range(&self, lo: usize, hi: usize) -> impl Iterator<Item = &NetworkWindow> + '_ {
+        let per = self.rows_per_seg;
+        self.network.slabs().enumerate().flat_map(move |(i, slab)| {
+            let base = i * per;
+            let b = hi.clamp(base, base + slab.len()) - base;
+            let a = (lo.clamp(base, base + slab.len()) - base).min(b);
+            &slab[a..b]
+        })
+    }
+}
+
+impl Serialize for WindowLog {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("num_services".to_string(), self.num_services.to_value()),
+            ("service_windows".to_string(), {
+                Value::Seq(self.services.iter().map(Serialize::to_value).collect())
+            }),
+            ("network_windows".to_string(), {
+                Value::Seq(self.network.iter().map(Serialize::to_value).collect())
+            }),
+        ])
+    }
+}
+
+impl<'de> Deserialize<'de> for WindowLog {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let field = |name: &str| {
+            value
+                .get(name)
+                .ok_or_else(|| DeError::custom(format!("WindowLog: missing field `{name}`")))
+        };
+        let num_services = usize::from_value(field("num_services")?)?;
+        let services = Vec::<ServiceWindow>::from_value(field("service_windows")?)?;
+        let network = Vec::<NetworkWindow>::from_value(field("network_windows")?)?;
+        if services.len() != network.len() * num_services {
+            return Err(DeError::custom(format!(
+                "WindowLog: {} service samples do not fill {} rows of {} services",
+                services.len(),
+                network.len(),
+                num_services
+            )));
+        }
+        let mut log = WindowLog::new(num_services);
+        if num_services == 0 {
+            for net in network {
+                log.push_row(&[], net);
+            }
+        } else {
+            for (row, net) in services.chunks(num_services).zip(network) {
+                log.push_row(row, net);
+            }
+        }
+        Ok(log)
+    }
+}
+
+impl fmt::Debug for WindowLog {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("WindowLog")
+            .field("rows", &self.rows())
+            .field("services", &self.services)
+            .field("network", &self.network)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::Origin;
+    use proptest::prelude::*;
+    use simnet::SimDuration;
+
+    fn rec(t_us: u64, ty: usize, attack: bool) -> RequestRecord {
+        RequestRecord {
+            request_type: RequestTypeId::new(ty as u32),
+            origin: if attack {
+                Origin::attack(9, 9)
+            } else {
+                Origin::legit(1, 1)
+            },
+            submitted_at: SimTime::from_micros(t_us.saturating_sub(500)),
+            completed_at: SimTime::from_micros(t_us),
+        }
+    }
+
+    #[test]
+    fn seglog_seals_and_preserves_order() {
+        let mut log = SegLog::new(4);
+        for i in 0..11 {
+            log.push(i);
+        }
+        assert_eq!(log.len(), 11);
+        assert_eq!(log.sealed().len(), 2);
+        assert_eq!(log.tail().len(), 3);
+        let all: Vec<i32> = log.iter().copied().collect();
+        assert_eq!(all, (0..11).collect::<Vec<_>>());
+        assert_eq!(log[4], 4);
+        assert_eq!(log.get(10), Some(&10));
+        assert_eq!(log.get(11), None);
+        assert_eq!(log.last(), Some(&10));
+        assert_eq!(log.iter().len(), 11);
+    }
+
+    #[test]
+    fn seglog_clone_shares_sealed_segments() {
+        let mut log = SegLog::new(4);
+        for i in 0..9 {
+            log.push(i);
+        }
+        let fork = log.clone();
+        assert_eq!(fork, log);
+        for (a, b) in log.sealed().iter().zip(fork.sealed()) {
+            assert!(Arc::ptr_eq(a, b), "sealed segments must be shared");
+        }
+        // Appending to the original never mutates what the fork sees.
+        log.push(100);
+        log.push(101);
+        let forked: Vec<i32> = fork.iter().copied().collect();
+        assert_eq!(forked, (0..9).collect::<Vec<_>>());
+        assert_ne!(fork, log);
+    }
+
+    #[test]
+    fn request_log_fork_leaves_sealed_segments_untouched() {
+        let mut log = RequestLog::with_seg_cap(4);
+        for i in 0..10u64 {
+            log.push(rec(i * 1000, (i % 3) as usize, i % 2 == 0));
+        }
+        let fork = log.clone();
+        for i in 10..30u64 {
+            log.push(rec(i * 1000, (i % 3) as usize, i % 2 == 0));
+        }
+        // The fork still sees exactly the first 10 records...
+        assert_eq!(fork.len(), 10);
+        assert_eq!(
+            fork.iter().map(|r| r.completed_at).collect::<Vec<_>>(),
+            (0..10u64)
+                .map(|i| SimTime::from_micros(i * 1000))
+                .collect::<Vec<_>>()
+        );
+        // ...and its sealed segments are physically shared with the
+        // original (COW: appends went to fresh tails/segments only).
+        for (a, b) in fork.sealed_segments().iter().zip(log.sealed_segments()) {
+            assert!(Arc::ptr_eq(a, b), "warm prefix must be shared, not copied");
+        }
+        // Deterministic segmentation: a cold log with the same records is
+        // logically equal.
+        let mut cold = RequestLog::with_seg_cap(4);
+        for i in 0..30u64 {
+            cold.push(rec(i * 1000, (i % 3) as usize, i % 2 == 0));
+        }
+        assert_eq!(cold, log);
+    }
+
+    #[test]
+    fn window_log_rows_and_ranges() {
+        let mut wl = WindowLog::with_rows_per_seg(2, 3);
+        for w in 0..8u64 {
+            let row = [
+                ServiceWindow {
+                    start: SimTime::from_millis(w * 100),
+                    busy: SimDuration::from_millis(w),
+                    active_cores: 1,
+                    admitted: 0,
+                    waiting: 0,
+                    arrivals: w as u32,
+                    completions: 0,
+                    replicas: 1,
+                },
+                ServiceWindow {
+                    start: SimTime::from_millis(w * 100),
+                    busy: SimDuration::from_millis(100 - w),
+                    active_cores: 1,
+                    admitted: 0,
+                    waiting: 0,
+                    arrivals: 100 + w as u32,
+                    completions: 0,
+                    replicas: 1,
+                },
+            ];
+            wl.push_row(
+                &row,
+                NetworkWindow {
+                    bytes_in: w,
+                    bytes_out: 0,
+                },
+            );
+        }
+        assert_eq!(wl.rows(), 8);
+        assert_eq!(wl.rows_iter().count(), 8);
+        for (w, row) in wl.rows_iter().enumerate() {
+            assert_eq!(row.len(), 2);
+            assert_eq!(row[0].arrivals as usize, w);
+            assert_eq!(row[1].arrivals as usize, 100 + w);
+        }
+        // Ranges spanning segment boundaries (3 rows per segment).
+        let col1: Vec<u32> = wl.service_range(1, 2, 7).map(|s| s.arrivals).collect();
+        assert_eq!(col1, vec![102, 103, 104, 105, 106]);
+        let net: Vec<u64> = wl.network_range(2, 7).map(|n| n.bytes_in).collect();
+        assert_eq!(net, vec![2, 3, 4, 5, 6]);
+        // Degenerate and clamped ranges.
+        assert_eq!(wl.service_range(0, 5, 5).count(), 0);
+        assert_eq!(wl.network_range(6, 100).count(), 2);
+        // A clone shares sealed slabs and is logically equal.
+        let fork = wl.clone();
+        assert_eq!(fork, wl);
+    }
+
+    /// Naive reference: full scan with predicate filtering.
+    fn naive(
+        records: &[RequestRecord],
+        from: SimTime,
+        to: SimTime,
+        filter: RequestFilter,
+    ) -> Vec<RequestRecord> {
+        records
+            .iter()
+            .filter(|r| r.completed_at >= from && r.completed_at < to && filter.matches(r))
+            .copied()
+            .collect()
+    }
+
+    proptest! {
+        /// Indexed window queries return exactly the records a naive full
+        /// scan returns, in the same order — over random logs (random
+        /// types, origins, duplicate timestamps) and random windows
+        /// (overlapping, empty, out of range).
+        #[test]
+        fn indexed_queries_match_naive_scan(
+            seg_cap in 1usize..9,
+            steps in proptest::collection::vec((0u64..400, 0usize..4, 0u8..2), 0..200),
+            ranges in proptest::collection::vec((0u64..500, 0u64..500), 1..12),
+            // 0 = no origin filter, 1 = legit only, 2 = attack only.
+            attack_f in 0u8..3,
+            // 0 = no type filter, k = restrict to type k - 1.
+            type_f in 0u32..5,
+        ) {
+            let mut log = RequestLog::with_seg_cap(seg_cap);
+            let mut records = Vec::new();
+            let mut t = 0u64;
+            for (dt, ty, attack) in steps {
+                t += dt; // non-decreasing completion times, duplicates allowed
+                let r = rec(t, ty, attack == 1);
+                log.push(r);
+                records.push(r);
+            }
+            let filter = RequestFilter {
+                is_attack: match attack_f {
+                    0 => None,
+                    1 => Some(false),
+                    _ => Some(true),
+                },
+                request_type: type_f.checked_sub(1).map(RequestTypeId::new),
+            };
+            for (a, b) in ranges {
+                let (from, to) = (SimTime::from_micros(a), SimTime::from_micros(b));
+                let expect = naive(&records, from, to, filter);
+                let mut got = Vec::new();
+                log.for_each_matching(from, to, filter, |r| got.push(*r));
+                prop_assert_eq!(&got, &expect, "gather mismatch");
+                prop_assert_eq!(log.count_matching(from, to, filter), expect.len(), "count mismatch");
+            }
+        }
+    }
+}

@@ -35,6 +35,7 @@ use std::sync::Arc;
 
 use crate::agent::Agent;
 use crate::kernel::Kernel;
+use crate::metrics::Metrics;
 
 /// The kernel's snapshot path: every field cloned explicitly, one line per
 /// field, so nothing can be forgotten silently.
@@ -75,6 +76,33 @@ impl Clone for Kernel {
             sec_started: self.sec_started,
             windows_per_sec: self.windows_per_sec,
             windows_seen: self.windows_seen,
+        }
+    }
+}
+
+/// The metrics' snapshot path: copy-on-write, written out per field like
+/// [`Kernel`]'s so `simlint`'s `snapshot-complete` rule can cross-check it
+/// against the `Metrics` field list.
+///
+/// The segmented logs (`windows`, `request_log`, `access_log`, `traces`)
+/// share their sealed warm prefix behind `Arc` — cloning them bumps
+/// refcounts and copies only the bounded mutable tail, so fork cost is
+/// independent of how much history the warm run accumulated. Sealed
+/// segments are immutable by construction (appends go to a fresh tail), so
+/// the sharing is invisible: the fork and the original can never observe
+/// each other's writes.
+impl Clone for Metrics {
+    fn clone(&self) -> Self {
+        Metrics {
+            window: self.window,
+            num_services: self.num_services,
+            // COW segmented logs: Arc-shared prefix + copied tail.
+            windows: self.windows.clone(),
+            request_log: self.request_log.clone(),
+            access_log: self.access_log.clone(),
+            traces: self.traces.clone(),
+            // Rare events: a plain deep copy stays negligible.
+            scaling_actions: self.scaling_actions.clone(),
         }
     }
 }

@@ -246,18 +246,8 @@ fn network_accounting_tracks_bytes() {
     let mut sim = Simulation::new(shared_gateway_topology(32, 16), SimConfig::default());
     sim.add_agent(Box::new(FixedRate::new(RA, ms(5), 10)));
     sim.run_until(SimTime::from_secs(2));
-    let total_in: u64 = sim
-        .metrics()
-        .network_windows()
-        .iter()
-        .map(|w| w.bytes_in)
-        .sum();
-    let total_out: u64 = sim
-        .metrics()
-        .network_windows()
-        .iter()
-        .map(|w| w.bytes_out)
-        .sum();
+    let total_in: u64 = sim.metrics().network_windows().map(|w| w.bytes_in).sum();
+    let total_out: u64 = sim.metrics().network_windows().map(|w| w.bytes_out).sum();
     // 10 requests * (1024 + 220) bytes in, 10 * (8192 + 220) out.
     assert_eq!(total_in, 10 * 1244);
     assert_eq!(total_out, 10 * 8412);

@@ -35,7 +35,7 @@ pub struct SnapshotTarget<'a> {
 }
 
 /// The workspace's tracked snapshot structs.
-pub const TARGETS: [SnapshotTarget<'static>; 2] = [
+pub const TARGETS: [SnapshotTarget<'static>; 3] = [
     SnapshotTarget {
         struct_name: "Kernel",
         struct_file: "crates/microsim/src/kernel.rs",
@@ -45,6 +45,14 @@ pub const TARGETS: [SnapshotTarget<'static>; 2] = [
         struct_name: "EventQueue",
         struct_file: "crates/simnet/src/event.rs",
         clone_file: "crates/simnet/src/event.rs",
+    },
+    // The metrics store is cloned per fork through the copy-on-write
+    // segmented logs; a field added to `Metrics` but not to its manual
+    // `Clone` would silently vanish from every fork.
+    SnapshotTarget {
+        struct_name: "Metrics",
+        struct_file: "crates/microsim/src/metrics.rs",
+        clone_file: "crates/microsim/src/snapshot.rs",
     },
 ];
 

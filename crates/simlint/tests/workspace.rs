@@ -69,3 +69,14 @@ fn deleting_an_event_queue_field_clone_line_is_caught() {
         "expected a snapshot-complete finding for `next_seq`, got: {diags:?}"
     );
 }
+
+#[test]
+fn deleting_a_metrics_field_clone_line_is_caught() {
+    let diags = check_with_deleted_line("Metrics", "request_log: self.request_log.clone()");
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.contains("[snapshot-complete]") && d.contains("`request_log`")),
+        "expected a snapshot-complete finding for `request_log`, got: {diags:?}"
+    );
+}

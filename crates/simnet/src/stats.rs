@@ -145,9 +145,28 @@ impl SampleSet {
         }
     }
 
+    /// Creates an empty collector with room for `n` samples — callers that
+    /// know the match count up front (e.g. indexed telemetry queries)
+    /// avoid growth reallocations entirely.
+    pub fn with_capacity(n: usize) -> Self {
+        SampleSet {
+            samples: Vec::with_capacity(n),
+            sorted: true,
+        }
+    }
+
     /// Adds one sample.
     pub fn push(&mut self, x: f64) {
         self.samples.push(x);
+        self.sorted = false;
+    }
+
+    /// Appends all of `other`'s samples, preserving `other`'s current
+    /// order. Percentiles over the merged set are exact: they re-sort over
+    /// the union, so merging is order-insensitive for every statistic
+    /// except the (insertion-ordered) `mean` accumulation.
+    pub fn merge(&mut self, other: &SampleSet) {
+        self.samples.extend_from_slice(&other.samples);
         self.sorted = false;
     }
 
@@ -410,6 +429,33 @@ mod tests {
         assert_eq!(s.percentile(0.5), 10.0);
         s.push(1.0);
         assert_eq!(s.percentile(0.0), 1.0);
+    }
+
+    #[test]
+    fn sample_set_with_capacity_behaves_like_new() {
+        let mut s = SampleSet::with_capacity(100);
+        assert!(s.is_empty());
+        for x in [3.0, 1.0, 2.0] {
+            s.push(x);
+        }
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.mean(), 2.0);
+        assert_eq!(s.percentile(1.0), 3.0);
+    }
+
+    #[test]
+    fn sample_set_merge_matches_sequential_pushes() {
+        let mut a: SampleSet = [5.0, 1.0, 4.0].into_iter().collect();
+        let b: SampleSet = [2.0, 3.0].into_iter().collect();
+        let mut all: SampleSet = [5.0, 1.0, 4.0, 2.0, 3.0].into_iter().collect();
+        a.merge(&b);
+        assert_eq!(a.len(), 5);
+        assert_eq!(a.mean(), all.mean());
+        assert_eq!(a.percentile(0.5), all.percentile(0.5));
+        assert_eq!(a.max(), all.max());
+        // Merging an empty set is a no-op.
+        a.merge(&SampleSet::new());
+        assert_eq!(a.len(), 5);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Client-perceived latency analysis.
 
 use callgraph::RequestTypeId;
-use microsim::{Metrics, RequestRecord};
+use microsim::{Metrics, RequestFilter, RequestRecord};
 use simnet::{SampleSet, SimDuration, SimTime};
 
 /// Which traffic class to include when analysing latencies.
@@ -22,6 +22,15 @@ impl Traffic {
             Traffic::Legit => !rec.origin.is_attack,
             Traffic::Attack => rec.origin.is_attack,
             Traffic::All => true,
+        }
+    }
+
+    /// The equivalent indexed-query origin filter.
+    fn attack_filter(self) -> Option<bool> {
+        match self {
+            Traffic::Legit => Some(false),
+            Traffic::Attack => Some(true),
+            Traffic::All => None,
         }
     }
 }
@@ -45,7 +54,54 @@ impl LatencySummary {
     /// Computes a summary over the requests of `metrics` completed in
     /// `[from, to)`, restricted to `traffic` and optionally to one request
     /// type. Returns an all-zero summary when nothing matches.
+    ///
+    /// Runs on the request log's per-segment indexes, so cost is
+    /// O(matching records) — including the `Traffic::All` + no-type shape,
+    /// which resolves the time range by binary search instead of testing
+    /// every record. Samples are gathered in completion order (exactly the
+    /// order the naive scan pushes them), so every statistic — means and
+    /// exact sorted percentiles alike — is **bit-identical** to
+    /// [`LatencySummary::compute_naive`]; a differential proptest asserts
+    /// this.
     pub fn compute(
+        metrics: &Metrics,
+        traffic: Traffic,
+        request_type: Option<RequestTypeId>,
+        from: SimTime,
+        to: SimTime,
+    ) -> Self {
+        let filter = RequestFilter {
+            is_attack: traffic.attack_filter(),
+            request_type,
+        };
+        let log = metrics.request_log();
+        let n = log.count_matching(from, to, filter);
+        if n == 0 {
+            return LatencySummary {
+                count: 0,
+                avg_ms: 0.0,
+                p95_ms: 0.0,
+                p99_ms: 0.0,
+                max_ms: 0.0,
+            };
+        }
+        let mut set = SampleSet::with_capacity(n);
+        log.for_each_matching(from, to, filter, |rec| {
+            set.push(rec.latency().as_millis_f64());
+        });
+        LatencySummary {
+            count: set.len(),
+            avg_ms: set.mean(),
+            p95_ms: set.percentile(0.95),
+            p99_ms: set.percentile(0.99),
+            max_ms: set.max(),
+        }
+    }
+
+    /// Reference implementation of [`LatencySummary::compute`]: a full
+    /// scan of the request log with predicate filtering. Kept public as
+    /// the ground truth for differential tests and benches.
+    pub fn compute_naive(
         metrics: &Metrics,
         traffic: Traffic,
         request_type: Option<RequestTypeId>,
@@ -99,6 +155,12 @@ pub struct LatencySeries {
 impl LatencySeries {
     /// Builds the series over `[0, horizon)` with the given window.
     ///
+    /// Buckets via the request log's indexes: the origin posting lists
+    /// slice away the non-matching traffic class and the time range is
+    /// resolved by binary search. Records are visited in completion order,
+    /// so each bucket's float accumulation order — and hence every mean —
+    /// is bit-identical to a naive full scan.
+    ///
     /// # Panics
     ///
     /// Panics if `window` is zero.
@@ -112,14 +174,17 @@ impl LatencySeries {
         let n = (horizon.as_micros() / window.as_micros()) as usize + 1;
         let mut sums = vec![0.0f64; n];
         let mut counts = vec![0usize; n];
-        for rec in metrics.request_log() {
-            if !traffic.matches(rec) || rec.completed_at >= horizon {
-                continue;
-            }
-            let idx = (rec.completed_at.as_micros() / window.as_micros()) as usize;
-            sums[idx] += rec.latency().as_millis_f64();
-            counts[idx] += 1;
-        }
+        let filter = RequestFilter {
+            is_attack: traffic.attack_filter(),
+            request_type: None,
+        };
+        metrics
+            .request_log()
+            .for_each_matching(SimTime::ZERO, horizon, filter, |rec| {
+                let idx = (rec.completed_at.as_micros() / window.as_micros()) as usize;
+                sums[idx] += rec.latency().as_millis_f64();
+                counts[idx] += 1;
+            });
         let points = (0..n)
             .map(|i| {
                 let start = SimTime::from_micros(i as u64 * window.as_micros());

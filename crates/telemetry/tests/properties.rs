@@ -24,6 +24,42 @@ fn run_sim(rate_per_s: u64, demand_ms: u64, secs: u64, seed: u64) -> microsim::M
     sim.into_metrics()
 }
 
+/// A run with two request types and an attack source, so every
+/// [`Traffic`]/request-type filter combination has matching and
+/// non-matching records.
+fn run_mixed_sim(
+    rate_per_s: u64,
+    attack_rate_per_s: u64,
+    secs: u64,
+    seed: u64,
+) -> microsim::Metrics {
+    let mut b = TopologyBuilder::new();
+    let gw = b.add_service(ServiceSpec::new("gw").threads(256).cores(4).demand_cv(0.1));
+    b.add_request_type("r0", vec![(gw, SimDuration::from_millis(2))]);
+    b.add_request_type("r1", vec![(gw, SimDuration::from_millis(5))]);
+    let mut sim = Simulation::new(b.build(), SimConfig::default().seed(seed));
+    for (rt, rate, attack) in [
+        (0u32, rate_per_s, false),
+        (1u32, rate_per_s / 2 + 1, false),
+        (0u32, attack_rate_per_s, true),
+    ] {
+        if rate == 0 {
+            continue;
+        }
+        let mut agent = FixedRate::new(
+            RequestTypeId::new(rt),
+            SimDuration::from_micros(1_000_000 / rate),
+            rate * secs,
+        );
+        if attack {
+            agent = agent.with_origin(microsim::Origin::attack(7, 7));
+        }
+        sim.add_agent(Box::new(agent));
+    }
+    sim.run_until(SimTime::from_secs(secs + 5));
+    sim.into_metrics()
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 
@@ -100,5 +136,34 @@ proptest! {
         prop_assert!(s.avg_ms <= s.max_ms + 1e-9);
         prop_assert!(s.p95_ms <= s.p99_ms + 1e-9);
         prop_assert!(s.p99_ms <= s.max_ms + 1e-9);
+    }
+
+    /// Differential: the indexed [`LatencySummary::compute`] is
+    /// bit-identical (exact float equality via `PartialEq`) to the naive
+    /// full-scan reference, for every traffic class, request-type filter,
+    /// and window — including empty, inverted, and out-of-range windows.
+    #[test]
+    fn indexed_summary_matches_naive(
+        rate in 5u64..120,
+        attack_rate in 0u64..40,
+        seed in any::<u64>(),
+        traffic_sel in 0u8..3,
+        type_sel in 0u32..4,
+        from_ms in 0u64..12_000,
+        len_ms in 0u64..12_000,
+    ) {
+        let m = run_mixed_sim(rate, attack_rate, 6, seed);
+        let traffic = match traffic_sel {
+            0 => Traffic::All,
+            1 => Traffic::Legit,
+            _ => Traffic::Attack,
+        };
+        // 0 => no filter, 1/2 => real types, 3 => a type with no records.
+        let request_type = type_sel.checked_sub(1).map(RequestTypeId::new);
+        let from = SimTime::from_millis(from_ms);
+        let to = SimTime::from_millis(from_ms + len_ms);
+        let fast = LatencySummary::compute(&m, traffic, request_type, from, to);
+        let naive = LatencySummary::compute_naive(&m, traffic, request_type, from, to);
+        prop_assert_eq!(fast, naive);
     }
 }

@@ -39,7 +39,7 @@ fn metrics_round_trip_preserves_logs_and_windows() {
     let back: Metrics = serde_json::from_str(&json).expect("deserialize");
     assert_eq!(back.request_log(), metrics.request_log());
     assert_eq!(back.access_log().len(), metrics.access_log().len());
-    assert_eq!(back.windows().len(), metrics.windows().len());
+    assert_eq!(back.num_windows(), metrics.num_windows());
     assert_eq!(back.traces().len(), metrics.traces().len());
     assert_eq!(back.window(), metrics.window());
     // Span trees survive intact: same critical paths.
