@@ -2,7 +2,7 @@
 
 use callgraph::RequestTypeId;
 use microsim::{Agent, Origin, Response, SimCtx};
-use simnet::{SampleSet, SimDuration, SimTime};
+use simnet::{SegSamples, SimDuration, SimTime};
 
 /// Parameters of the single-path ON/OFF attack.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -45,7 +45,7 @@ impl TailAttackConfig {
 pub struct TailAttack {
     cfg: TailAttackConfig,
     sent: u64,
-    latencies_ms: SampleSet,
+    latencies_ms: SegSamples,
     chunk_remaining: u32,
     next_bot: u32,
 }
@@ -65,7 +65,7 @@ impl TailAttack {
         TailAttack {
             cfg,
             sent: 0,
-            latencies_ms: SampleSet::new(),
+            latencies_ms: SegSamples::new(),
             chunk_remaining: 0,
             next_bot: 0,
         }
@@ -77,7 +77,7 @@ impl TailAttack {
     }
 
     /// Latencies of the attack's own requests (ms).
-    pub fn latencies_ms(&self) -> &SampleSet {
+    pub fn latencies_ms(&self) -> &SegSamples {
         &self.latencies_ms
     }
 

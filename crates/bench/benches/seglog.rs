@@ -1,0 +1,105 @@
+//! Copy-on-write log & index microbenches: the seal path of `SegLog::push`
+//! (including the spine copy a fork forces), `Csr::build`'s counting sort,
+//! and the `SegSamples` k-way percentile merge against the flat
+//! `SampleSet` sort it must stay bit-identical to.
+
+// criterion_group! expands to an undocumented fn; nothing to doc by hand.
+#![allow(missing_docs)]
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use microsim::seglog::SEG_CAP;
+use microsim::{Csr, SegLog};
+use simnet::{SampleSet, SegSamples};
+
+/// Pushes crossing four seal boundaries plus a short tail, so the measured
+/// mean covers the common in-tail push and the amortized seal (tail
+/// allocation + spine push).
+const PUSHES: u64 = 4 * SEG_CAP as u64 + 7;
+
+fn seglog_push(c: &mut Criterion) {
+    let mut g = c.benchmark_group("seglog_push");
+    // Uniquely-owned log: seals push onto the spine in place.
+    g.bench_function("unshared_4seals", |b| {
+        b.iter_batched(
+            || SegLog::new(SEG_CAP),
+            |mut log| {
+                for i in 0..PUSHES {
+                    log.push(i);
+                }
+                log.len()
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    // Log whose spine is shared with a live fork: the first seal must copy
+    // the spine (`Arc::make_mut`) before pushing — the COW cost a
+    // checkpoint adds to the parent's write path.
+    g.bench_function("forked_4seals", |b| {
+        b.iter_batched(
+            || {
+                let mut log = SegLog::new(SEG_CAP);
+                for i in 0..(4 * SEG_CAP as u64) {
+                    log.push(i);
+                }
+                let fork = log.clone();
+                (log, fork)
+            },
+            |(mut log, fork)| {
+                for i in 0..PUSHES {
+                    log.push(i);
+                }
+                (log.len(), fork.len())
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    g.finish();
+}
+
+fn csr_build(c: &mut Criterion) {
+    // One segment's worth of records over a paper-scale key domain (64
+    // distinct source IPs): the counting sort run at every seal.
+    let mut x: u64 = 0x9E37_79B9_7F4A_7C15;
+    let keys: Vec<u32> = (0..SEG_CAP)
+        .map(|_| (bench::xorshift64(&mut x) % 64) as u32)
+        .collect();
+    c.bench_function("csr_build_1seg_64keys", |b| {
+        b.iter(|| Csr::build(&keys, |&k| k as usize));
+    });
+}
+
+fn percentile_merge(c: &mut Criterion) {
+    // 16 sealed segments of presorted samples: SegSamples answers p99 by
+    // k-way merging to the rank, SampleSet by sorting the flat vector.
+    let n = 16 * 1024usize;
+    let mut x: u64 = 0x243F_6A88_85A3_08D3;
+    let vals: Vec<f64> = (0..n)
+        .map(|_| bench::xorshift64(&mut x) as f64 / u64::MAX as f64)
+        .collect();
+    let mut seg = SegSamples::default();
+    let mut flat = SampleSet::new();
+    for &v in &vals {
+        seg.push(v);
+        flat.push(v);
+    }
+    let mut g = c.benchmark_group("percentile_16k");
+    // iter_batched on fresh clones: both types cache sort work, so timing a
+    // reused value would measure the cache hit, not the merge/sort.
+    g.bench_function("seg_samples_kway", |b| {
+        b.iter_batched(
+            || seg.clone(),
+            |mut s| s.percentile(0.99),
+            BatchSize::SmallInput,
+        );
+    });
+    g.bench_function("sample_set_sort", |b| {
+        b.iter_batched(
+            || flat.clone(),
+            |mut s| s.percentile(0.99),
+            BatchSize::SmallInput,
+        );
+    });
+    g.finish();
+}
+
+criterion_group!(benches, seglog_push, csr_build, percentile_merge);
+criterion_main!(benches);

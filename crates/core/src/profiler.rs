@@ -30,7 +30,7 @@ use std::collections::{BTreeMap, HashMap};
 
 use callgraph::{DependencyGroups, PairwiseDependency, RequestTypeId};
 use microsim::{Agent, Response, SimCtx};
-use simnet::{RngStream, SimDuration, SimTime};
+use simnet::{RngStream, SegSamples, SimDuration, SimTime};
 
 use crate::botfarm::BotFarm;
 use crate::monitor::BurstObservation;
@@ -160,7 +160,7 @@ pub struct Profiler {
     action_seq: u64,
     catalog: Vec<(RequestTypeId, String)>,
     // Baseline phase.
-    baseline_samples: HashMap<RequestTypeId, Vec<f64>>,
+    baseline_samples: HashMap<RequestTypeId, SegSamples>,
     baseline_ms: BTreeMap<RequestTypeId, f64>,
     // Saturation phase.
     v_sat: BTreeMap<RequestTypeId, u32>,
@@ -481,13 +481,14 @@ impl Profiler {
     fn finish_baseline(&mut self) {
         for (rt, _) in &self.catalog {
             let mut samples = self.baseline_samples.remove(rt).unwrap_or_default();
-            samples.sort_by(|x, y| x.partial_cmp(y).expect("RT not NaN"));
             let median = if samples.is_empty() {
                 // Nothing came back within the probing window: the path is
                 // effectively unusable; treat as very slow.
                 5_000.0
             } else {
-                samples[samples.len() / 2]
+                // Upper median, identical to the old full-sort-and-index
+                // (`sorted[len / 2]`) but via the COW store's k-way merge.
+                samples.nth_smallest(samples.len() / 2)
             };
             self.baseline_ms.insert(*rt, median);
         }

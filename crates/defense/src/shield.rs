@@ -48,30 +48,67 @@ impl RateShield {
 
     /// Replays the access log and returns the verdict per IP (sliding
     /// window, exact).
+    ///
+    /// Routes through the per-segment IP index ([`RateShield::analyze_window`]
+    /// with an all-covering window); [`RateShield::analyze_naive`] is the
+    /// full-scan ground truth and returns an identical map.
     pub fn analyze(&self, metrics: &Metrics) -> BTreeMap<u32, ShieldVerdict> {
+        self.analyze_window(metrics, SimTime::ZERO, SimTime::FAR_FUTURE)
+    }
+
+    /// Verdict per IP over the submissions in `[from, to)` only, collated
+    /// straight from the access log's per-segment IP posting lists —
+    /// O(matching + ips·segments), not O(run). The collation is already
+    /// chronological per IP, so no re-sort is needed.
+    pub fn analyze_window(
+        &self,
+        metrics: &Metrics,
+        from: SimTime,
+        to: SimTime,
+    ) -> BTreeMap<u32, ShieldVerdict> {
+        metrics
+            .access_log()
+            .per_ip_times_in(from, to)
+            .into_iter()
+            .map(|(ip, times)| (ip, self.verdict(&times)))
+            .collect()
+    }
+
+    /// Full-scan ground truth for [`RateShield::analyze_window`]: same
+    /// window semantics via a predicate filter over the whole log. Kept as
+    /// the differential-testing oracle.
+    pub fn analyze_naive(
+        &self,
+        metrics: &Metrics,
+        from: SimTime,
+        to: SimTime,
+    ) -> BTreeMap<u32, ShieldVerdict> {
         let mut per_ip: BTreeMap<u32, Vec<SimTime>> = BTreeMap::new();
         for e in metrics.access_log() {
-            per_ip.entry(e.origin.ip).or_default().push(e.at);
+            if e.at >= from && e.at < to {
+                per_ip.entry(e.origin.ip).or_default().push(e.at);
+            }
         }
         per_ip
             .into_iter()
-            .map(|(ip, mut times)| {
-                times.sort_unstable();
-                let mut verdict = ShieldVerdict::Allowed;
-                let w = self.window;
-                let mut lo = 0usize;
-                for hi in 0..times.len() {
-                    while times[hi].saturating_since(times[lo]) >= w {
-                        lo += 1;
-                    }
-                    if (hi - lo + 1) as u32 > self.max_per_window {
-                        verdict = ShieldVerdict::Blocked(times[hi]);
-                        break;
-                    }
-                }
-                (ip, verdict)
-            })
+            .map(|(ip, times)| (ip, self.verdict(&times)))
             .collect()
+    }
+
+    /// Exact sliding-window check over one IP's chronological submission
+    /// times (the access log is appended in time order, so no sort).
+    fn verdict(&self, times: &[SimTime]) -> ShieldVerdict {
+        let w = self.window;
+        let mut lo = 0usize;
+        for hi in 0..times.len() {
+            while times[hi].saturating_since(times[lo]) >= w {
+                lo += 1;
+            }
+            if (hi - lo + 1) as u32 > self.max_per_window {
+                return ShieldVerdict::Blocked(times[hi]);
+            }
+        }
+        ShieldVerdict::Allowed
     }
 
     /// Number of IPs that would have been blocked.
@@ -153,6 +190,28 @@ mod tests {
         assert_eq!(shield.blocked_count(&m), 0);
         let m = run(1_000, 4); // 4 requests in 3 s
         assert_eq!(shield.blocked_count(&m), 1);
+    }
+
+    #[test]
+    fn indexed_analysis_matches_naive_scan() {
+        let m = run(100, 150);
+        let shield = RateShield::new(SimDuration::from_secs(10), 40);
+        assert_eq!(
+            shield.analyze(&m),
+            shield.analyze_naive(&m, SimTime::ZERO, SimTime::FAR_FUTURE)
+        );
+        for (a, b) in [(0u64, 15u64), (2, 9), (9, 2), (14, 60), (5, 5)] {
+            let (from, to) = (SimTime::from_secs(a), SimTime::from_secs(b));
+            assert_eq!(
+                shield.analyze_window(&m, from, to),
+                shield.analyze_naive(&m, from, to),
+                "window [{a}s, {b}s)"
+            );
+        }
+        // A short window sees fewer requests: the IP that is blocked over
+        // the full run can stay allowed inside a narrow window.
+        let narrow = shield.analyze_window(&m, SimTime::ZERO, SimTime::from_secs(1));
+        assert_eq!(narrow[&0xDEAD], ShieldVerdict::Allowed);
     }
 
     #[test]

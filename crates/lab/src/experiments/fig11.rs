@@ -8,7 +8,7 @@
 
 use callgraph::RequestTypeId;
 use microsim::{Agent, Origin, Response, SimConfig, SimCtx};
-use simnet::{SampleSet, SimDuration, SimTime};
+use simnet::{SegSamples, SimDuration, SimTime};
 
 use crate::report::fmt;
 use crate::{Fidelity, Report, Scenario};
@@ -23,7 +23,7 @@ struct PairProbe {
     burst_length: SimDuration,
     probes: u32,
     chunk_remaining: u32,
-    probe_rts: SampleSet,
+    probe_rts: SegSamples,
     bot: u32,
 }
 
@@ -40,7 +40,7 @@ impl PairProbe {
             burst_length: SimDuration::from_millis(400),
             probes: 6,
             chunk_remaining: 0,
-            probe_rts: SampleSet::new(),
+            probe_rts: SegSamples::new(),
             bot: 0,
         }
     }

@@ -5,7 +5,7 @@
 //! crate; the agents here are deliberately minimal.
 
 use callgraph::RequestTypeId;
-use simnet::{SampleSet, SimDuration};
+use simnet::{SegSamples, SimDuration};
 
 use crate::agent::{Agent, SimCtx};
 use crate::job::{Origin, Response};
@@ -62,7 +62,7 @@ pub struct FixedRate {
     interval: SimDuration,
     remaining: u64,
     origin: Origin,
-    latencies_ms: SampleSet,
+    latencies_ms: SegSamples,
 }
 
 impl FixedRate {
@@ -81,7 +81,7 @@ impl FixedRate {
             interval,
             remaining: count,
             origin: Origin::legit(0xC0A8_0002, 2),
-            latencies_ms: SampleSet::new(),
+            latencies_ms: SegSamples::new(),
         }
     }
 
@@ -91,13 +91,14 @@ impl FixedRate {
         self
     }
 
-    /// Collected latencies (ms).
-    pub fn latencies_ms(&self) -> &SampleSet {
+    /// Collected latencies (ms). Copy-on-write, so snapshotting this
+    /// agent costs O(tail) however long it has been running.
+    pub fn latencies_ms(&self) -> &SegSamples {
         &self.latencies_ms
     }
 
     /// Mutable access (for percentile queries, which sort lazily).
-    pub fn latencies_ms_mut(&mut self) -> &mut SampleSet {
+    pub fn latencies_ms_mut(&mut self) -> &mut SegSamples {
         &mut self.latencies_ms
     }
 }

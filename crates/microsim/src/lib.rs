@@ -74,6 +74,6 @@ pub use autoscale::{AutoScalePolicy, ScalingAction, ScalingDirection};
 pub use config::{PlatformProfile, SimConfig};
 pub use job::{Origin, Response};
 pub use metrics::{AccessLogEntry, Metrics, RequestRecord, ServiceWindow};
-pub use seglog::{RequestFilter, RequestLog, SegLog, WindowLog};
+pub use seglog::{AccessLog, Csr, RequestFilter, RequestLog, SegLog, WindowLog};
 pub use sim::Simulation;
 pub use snapshot::{AgentState, SimSnapshot, Snapshot, SnapshotError};

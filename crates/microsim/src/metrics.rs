@@ -18,7 +18,7 @@ use simnet::{SimDuration, SimTime};
 
 use crate::autoscale::ScalingAction;
 use crate::job::Origin;
-use crate::seglog::{RequestLog, SegLog, WindowLog, SEG_CAP};
+use crate::seglog::{AccessLog, RequestLog, SegLog, WindowLog, SEG_CAP};
 
 /// Per-service measurements for one sampling window.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -120,7 +120,9 @@ pub struct Metrics {
     /// Every completed request, ordered by completion time, with
     /// per-segment indexes by request type and origin class.
     pub(crate) request_log: RequestLog,
-    pub(crate) access_log: SegLog<AccessLogEntry>,
+    /// Every external submission, ordered by submission time, with
+    /// per-segment indexes by source IP and session.
+    pub(crate) access_log: AccessLog,
     pub(crate) scaling_actions: Vec<ScalingAction>,
     pub(crate) traces: SegLog<(RequestTypeId, ExecutionHistory)>,
 }
@@ -132,7 +134,7 @@ impl Metrics {
             num_services,
             windows: WindowLog::new(num_services),
             request_log: RequestLog::new(),
-            access_log: SegLog::new(SEG_CAP),
+            access_log: AccessLog::new(),
             scaling_actions: Vec::new(),
             traces: SegLog::new(SEG_CAP),
         }
@@ -181,13 +183,27 @@ impl Metrics {
             .service_range(service.index(), 0, self.windows.rows())
     }
 
+    /// The time series of one service over the window-index range
+    /// `[lo, hi)`, clamped to the sampled windows. Locating the range is
+    /// O(1) per storage segment and iteration touches only the matching
+    /// rows, so windowed consumers (e.g. the coarse monitor) avoid a full
+    /// scan.
+    pub fn service_window_range(
+        &self,
+        service: ServiceId,
+        lo: usize,
+        hi: usize,
+    ) -> impl Iterator<Item = &ServiceWindow> + '_ {
+        self.windows.service_range(service.index(), lo, hi)
+    }
+
     /// Every completed request, with indexed time/type/origin queries.
     pub fn request_log(&self) -> &RequestLog {
         &self.request_log
     }
 
     /// Every external submission (empty when the access log is disabled).
-    pub fn access_log(&self) -> &SegLog<AccessLogEntry> {
+    pub fn access_log(&self) -> &AccessLog {
         &self.access_log
     }
 

@@ -38,7 +38,7 @@ use callgraph::RequestTypeId;
 use serde::{DeError, Deserialize, Serialize, Value};
 use simnet::SimTime;
 
-use crate::metrics::{NetworkWindow, RequestRecord, ServiceWindow};
+use crate::metrics::{AccessLogEntry, NetworkWindow, RequestRecord, ServiceWindow};
 
 /// Records per sealed segment of the request/access/trace logs.
 ///
@@ -46,20 +46,28 @@ use crate::metrics::{NetworkWindow, RequestRecord, ServiceWindow};
 /// the record count; large enough that per-segment overhead (Arc, index
 /// headers) is negligible, small enough that the mutable tail copied on
 /// fork stays tiny.
-pub const SEG_CAP: usize = 4096;
+pub const SEG_CAP: usize = 1024;
 
 /// Window rows per sealed segment of the [`WindowLog`].
-pub const ROWS_PER_SEG: usize = 1024;
+pub const ROWS_PER_SEG: usize = 128;
 
 /// An append-only copy-on-write log: sealed `Arc` segments plus a bounded
 /// mutable tail. See the module docs for the layout and COW invariants.
+///
+/// The sealed-segment spine is itself behind an `Arc`, so a clone bumps
+/// **one** refcount no matter how many segments the log has accumulated —
+/// fork cost is O(tail), with no O(prefix / seg_cap) term. The spine is
+/// copied only when a seal happens while forks share it
+/// ([`Arc::make_mut`]), amortized over the `seg_cap` pushes per seal.
 ///
 /// Equality and `Debug` are *logical*: two logs with the same records
 /// compare equal regardless of how clones share their segments.
 #[derive(Clone)]
 pub struct SegLog<T> {
-    /// Sealed segments, each exactly `seg_cap` items.
-    sealed: Vec<Arc<Vec<T>>>,
+    /// Sealed segments, each exactly `seg_cap` items. The spine is shared
+    /// whole on clone; segments are additionally shared individually so a
+    /// seal after a fork copies only the spine, never the records.
+    sealed: Arc<Vec<Arc<Vec<T>>>>,
     /// Uniquely-owned mutable tail, always shorter than `seg_cap`.
     tail: Vec<T>,
     /// Seal threshold.
@@ -75,7 +83,7 @@ impl<T> SegLog<T> {
     pub fn new(seg_cap: usize) -> Self {
         assert!(seg_cap > 0, "segment capacity must be positive");
         SegLog {
-            sealed: Vec::new(),
+            sealed: Arc::new(Vec::new()),
             tail: Vec::new(),
             seg_cap,
         }
@@ -87,7 +95,7 @@ impl<T> SegLog<T> {
         self.tail.push(item);
         if self.tail.len() == self.seg_cap {
             let seg = std::mem::replace(&mut self.tail, Vec::with_capacity(self.seg_cap));
-            self.sealed.push(Arc::new(seg));
+            Arc::make_mut(&mut self.sealed).push(Arc::new(seg));
         }
     }
 
@@ -254,8 +262,11 @@ impl RequestFilter {
 
 /// Compressed-sparse-row posting lists: `group(k)` is the ascending list of
 /// record offsets whose key is `k`.
+///
+/// Public so microbenches can exercise the build in isolation; everything
+/// else goes through [`RequestLog`] / [`AccessLog`].
 #[derive(Debug)]
-struct Csr {
+pub struct Csr {
     /// `starts[k]..starts[k + 1]` delimits group `k` inside `offsets`.
     starts: Vec<u32>,
     /// Record offsets, grouped by key, ascending within each group.
@@ -265,7 +276,7 @@ struct Csr {
 impl Csr {
     /// Builds posting lists over `records` with a counting sort (stable, so
     /// offsets stay ascending — i.e. chronological — within each group).
-    fn build(records: &[RequestRecord], key: impl Fn(&RequestRecord) -> usize) -> Csr {
+    pub fn build<T>(records: &[T], key: impl Fn(&T) -> usize) -> Csr {
         let groups = records.iter().map(&key).max().map_or(0, |m| m + 1);
         let mut starts = vec![0u32; groups + 1];
         for rec in records {
@@ -285,7 +296,7 @@ impl Csr {
     }
 
     /// The ascending offsets of group `k` (empty when `k` never occurred).
-    fn group(&self, k: usize) -> &[u32] {
+    pub fn group(&self, k: usize) -> &[u32] {
         if k + 1 >= self.starts.len() {
             return &[];
         }
@@ -343,8 +354,10 @@ impl SegIndex {
 #[derive(Clone)]
 pub struct RequestLog {
     records: SegLog<RequestRecord>,
-    /// `indexes[i]` describes `records`' sealed segment `i`.
-    indexes: Vec<Arc<SegIndex>>,
+    /// `indexes[i]` describes `records`' sealed segment `i`. Behind one
+    /// `Arc` like the segment spine, so a clone is O(1) regardless of how
+    /// many segments have been indexed.
+    indexes: Arc<Vec<Arc<SegIndex>>>,
 }
 
 impl RequestLog {
@@ -358,7 +371,7 @@ impl RequestLog {
     pub(crate) fn with_seg_cap(seg_cap: usize) -> Self {
         RequestLog {
             records: SegLog::new(seg_cap),
-            indexes: Vec::new(),
+            indexes: Arc::new(Vec::new()),
         }
     }
 
@@ -373,7 +386,8 @@ impl RequestLog {
         self.records.push(rec);
         while self.indexes.len() < self.records.sealed().len() {
             let seg = &self.records.sealed()[self.indexes.len()];
-            self.indexes.push(Arc::new(SegIndex::build(seg)));
+            let index = Arc::new(SegIndex::build(seg));
+            Arc::make_mut(&mut self.indexes).push(index);
         }
     }
 
@@ -440,7 +454,7 @@ impl RequestLog {
         if to <= from {
             return;
         }
-        for (seg, index) in self.records.sealed().iter().zip(&self.indexes) {
+        for (seg, index) in self.records.sealed().iter().zip(self.indexes.iter()) {
             if index.last < from {
                 continue;
             }
@@ -543,6 +557,316 @@ impl std::ops::Index<usize> for RequestLog {
 
     fn index(&self, index: usize) -> &RequestRecord {
         &self.records[index]
+    }
+}
+
+/// Per-sealed-segment index of the access log: the segment's time range
+/// plus CSR posting lists keyed by source IP and by session.
+///
+/// IPs and sessions are sparse identifiers, so each segment remaps the
+/// (typically few) distinct values it contains to dense CSR keys via the
+/// sorted `ips` / `sessions` tables.
+#[derive(Debug)]
+struct AccessIndex {
+    /// Submission time of the segment's first entry.
+    first: SimTime,
+    /// Submission time of the segment's last entry.
+    last: SimTime,
+    /// Sorted distinct source IPs appearing in the segment.
+    ips: Vec<u32>,
+    /// Offsets keyed by the position of the entry's IP in `ips`.
+    by_ip: Csr,
+    /// Sorted distinct sessions appearing in the segment.
+    sessions: Vec<u64>,
+    /// Offsets keyed by the position of the entry's session in `sessions`.
+    by_session: Csr,
+}
+
+impl AccessIndex {
+    fn build(entries: &[AccessLogEntry]) -> AccessIndex {
+        let mut ips: Vec<u32> = entries.iter().map(|e| e.origin.ip).collect();
+        ips.sort_unstable();
+        ips.dedup();
+        let mut sessions: Vec<u64> = entries.iter().map(|e| e.origin.session).collect();
+        sessions.sort_unstable();
+        sessions.dedup();
+        AccessIndex {
+            first: entries.first().map_or(SimTime::ZERO, |e| e.at),
+            last: entries.last().map_or(SimTime::ZERO, |e| e.at),
+            by_ip: Csr::build(entries, |e| {
+                ips.binary_search(&e.origin.ip).expect("ip in table")
+            }),
+            ips,
+            by_session: Csr::build(entries, |e| {
+                sessions
+                    .binary_search(&e.origin.session)
+                    .expect("session in table")
+            }),
+            sessions,
+        }
+    }
+}
+
+/// The access log: a [`SegLog`] of [`AccessLogEntry`]s (one per submitted
+/// request) plus a per-segment [`AccessIndex`] keyed by source IP and
+/// session, so defense analytics (`defense::Ids`, `defense::RateShield`)
+/// touch only the entries matching their window instead of scanning the
+/// whole run.
+///
+/// Entries are appended at submission time, and submissions happen in
+/// event order, so the log is sorted by `at` — asserted on push in debug
+/// builds; every binary search here relies on it.
+#[derive(Clone)]
+pub struct AccessLog {
+    entries: SegLog<AccessLogEntry>,
+    /// `indexes[i]` describes `entries`' sealed segment `i`. Behind one
+    /// `Arc` like the segment spine, so a clone is O(1) regardless of how
+    /// many segments have been indexed.
+    indexes: Arc<Vec<Arc<AccessIndex>>>,
+}
+
+impl AccessLog {
+    /// Creates an empty log with the default segment capacity.
+    pub(crate) fn new() -> Self {
+        Self::with_seg_cap(SEG_CAP)
+    }
+
+    /// Creates an empty log sealing every `seg_cap` entries (small caps are
+    /// used by tests to exercise many segments cheaply).
+    pub(crate) fn with_seg_cap(seg_cap: usize) -> Self {
+        AccessLog {
+            entries: SegLog::new(seg_cap),
+            indexes: Arc::new(Vec::new()),
+        }
+    }
+
+    /// Appends one entry; must be called in submission-time order.
+    pub(crate) fn push(&mut self, entry: AccessLogEntry) {
+        debug_assert!(
+            self.entries.last().is_none_or(|prev| prev.at <= entry.at),
+            "access log must be appended in submission order"
+        );
+        self.entries.push(entry);
+        while self.indexes.len() < self.entries.sealed().len() {
+            let seg = &self.entries.sealed()[self.indexes.len()];
+            let index = Arc::new(AccessIndex::build(seg));
+            Arc::make_mut(&mut self.indexes).push(index);
+        }
+    }
+
+    /// Number of logged submissions.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when nothing was submitted yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The entry at `index` (append order), if any.
+    pub fn get(&self, index: usize) -> Option<&AccessLogEntry> {
+        self.entries.get(index)
+    }
+
+    /// Iterates all entries in submission order.
+    pub fn iter(&self) -> SegLogIter<'_, AccessLogEntry> {
+        self.entries.iter()
+    }
+
+    /// Calls `f` for every entry submitted in `[from, to)`, in submission
+    /// order. O(log) per segment to locate the run, O(matching) to visit.
+    pub fn for_each_in(&self, from: SimTime, to: SimTime, mut f: impl FnMut(&AccessLogEntry)) {
+        if to <= from {
+            return;
+        }
+        for (seg, index) in self.entries.sealed().iter().zip(self.indexes.iter()) {
+            if index.last < from {
+                continue;
+            }
+            if index.first >= to {
+                return; // segments are chronological: nothing later matches
+            }
+            let recs = seg.as_slice();
+            let lo = recs.partition_point(|e| e.at < from);
+            let hi = recs.partition_point(|e| e.at < to);
+            recs[lo..hi].iter().for_each(&mut f);
+        }
+        let tail = self.entries.tail();
+        let lo = tail.partition_point(|e| e.at < from);
+        let hi = tail.partition_point(|e| e.at < to);
+        tail[lo..hi].iter().for_each(&mut f);
+    }
+
+    /// Number of entries submitted in `[from, to)`. O(log) per segment.
+    pub fn count_in(&self, from: SimTime, to: SimTime) -> usize {
+        if to <= from {
+            return 0;
+        }
+        let mut n = 0;
+        for (seg, _) in self.overlapping(from, to) {
+            let recs = seg.as_slice();
+            let lo = recs.partition_point(|e| e.at < from);
+            let hi = recs.partition_point(|e| e.at < to);
+            n += hi - lo;
+        }
+        let tail = self.entries.tail();
+        let lo = tail.partition_point(|e| e.at < from);
+        let hi = tail.partition_point(|e| e.at < to);
+        n + (hi - lo)
+    }
+
+    /// Per-IP submission times inside `[from, to)`, chronological within
+    /// each IP. O(log) per overlapping segment and IP to clip the posting
+    /// list, O(matching) to collect — a sliding-window consumer (the rate
+    /// shield) never touches the out-of-window prefix.
+    pub fn per_ip_times_in(
+        &self,
+        from: SimTime,
+        to: SimTime,
+    ) -> std::collections::BTreeMap<u32, Vec<SimTime>> {
+        let mut by_ip: std::collections::BTreeMap<u32, Vec<SimTime>> =
+            std::collections::BTreeMap::new();
+        if to <= from {
+            return by_ip;
+        }
+        for (seg, index) in self.overlapping(from, to) {
+            let recs = seg.as_slice();
+            for (k, &ip) in index.ips.iter().enumerate() {
+                let postings = index.by_ip.group(k);
+                let lo = postings.partition_point(|&o| recs[o as usize].at < from);
+                let hi = postings.partition_point(|&o| recs[o as usize].at < to);
+                if lo < hi {
+                    by_ip
+                        .entry(ip)
+                        .or_default()
+                        .extend(postings[lo..hi].iter().map(|&o| recs[o as usize].at));
+                }
+            }
+        }
+        let tail = self.entries.tail();
+        let lo = tail.partition_point(|e| e.at < from);
+        let hi = tail.partition_point(|e| e.at < to);
+        for e in &tail[lo..hi] {
+            by_ip.entry(e.origin.ip).or_default().push(e.at);
+        }
+        by_ip
+    }
+
+    /// Per-session `(global offset, submission time)` pairs inside
+    /// `[from, to)`, chronological within each session. The global offset
+    /// is the entry's position in the full log, letting callers restore
+    /// exact submission order across sessions (e.g. for alert emission).
+    pub fn per_session_in(
+        &self,
+        from: SimTime,
+        to: SimTime,
+    ) -> std::collections::BTreeMap<u64, Vec<(usize, SimTime)>> {
+        let mut by_session: std::collections::BTreeMap<u64, Vec<(usize, SimTime)>> =
+            std::collections::BTreeMap::new();
+        if to <= from {
+            return by_session;
+        }
+        let seg_cap = self.entries.seg_cap;
+        for (seg_idx, (seg, index)) in self
+            .entries
+            .sealed()
+            .iter()
+            .zip(self.indexes.iter())
+            .enumerate()
+            .filter(|(_, (_, index))| from <= index.last && index.first < to)
+        {
+            let base = seg_idx * seg_cap;
+            let recs = seg.as_slice();
+            for (k, &session) in index.sessions.iter().enumerate() {
+                let postings = index.by_session.group(k);
+                let lo = postings.partition_point(|&o| recs[o as usize].at < from);
+                let hi = postings.partition_point(|&o| recs[o as usize].at < to);
+                if lo < hi {
+                    by_session.entry(session).or_default().extend(
+                        postings[lo..hi]
+                            .iter()
+                            .map(|&o| (base + o as usize, recs[o as usize].at)),
+                    );
+                }
+            }
+        }
+        let base = self.entries.sealed().len() * seg_cap;
+        let tail = self.entries.tail();
+        let lo = tail.partition_point(|e| e.at < from);
+        let hi = tail.partition_point(|e| e.at < to);
+        for (i, e) in tail[lo..hi].iter().enumerate() {
+            by_session
+                .entry(e.origin.session)
+                .or_default()
+                .push((base + lo + i, e.at));
+        }
+        by_session
+    }
+
+    /// The sealed segments (with their indexes) whose time range overlaps
+    /// `[from, to)`, in chronological order.
+    fn overlapping(
+        &self,
+        from: SimTime,
+        to: SimTime,
+    ) -> impl Iterator<Item = (&Arc<Vec<AccessLogEntry>>, &Arc<AccessIndex>)> {
+        self.entries
+            .sealed()
+            .iter()
+            .zip(self.indexes.iter())
+            .filter(move |(_, index)| from <= index.last && index.first < to)
+    }
+}
+
+impl Serialize for AccessLog {
+    fn to_value(&self) -> Value {
+        // Entries only: the per-segment indexes are derived data and are
+        // rebuilt while re-appending on deserialization.
+        self.entries.to_value()
+    }
+}
+
+impl<'de> Deserialize<'de> for AccessLog {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let entries = Vec::<AccessLogEntry>::from_value(value)?;
+        let mut log = AccessLog::new();
+        for e in entries {
+            log.push(e);
+        }
+        Ok(log)
+    }
+}
+
+impl PartialEq for AccessLog {
+    fn eq(&self, other: &Self) -> bool {
+        // The indexes are a pure function of the entries; comparing the
+        // entries compares everything.
+        self.entries == other.entries
+    }
+}
+
+impl fmt::Debug for AccessLog {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Logical contents only, like `RequestLog`.
+        f.debug_list().entries(self.iter()).finish()
+    }
+}
+
+impl<'a> IntoIterator for &'a AccessLog {
+    type Item = &'a AccessLogEntry;
+    type IntoIter = SegLogIter<'a, AccessLogEntry>;
+
+    fn into_iter(self) -> SegLogIter<'a, AccessLogEntry> {
+        self.iter()
+    }
+}
+
+impl std::ops::Index<usize> for AccessLog {
+    type Output = AccessLogEntry;
+
+    fn index(&self, index: usize) -> &AccessLogEntry {
+        &self.entries[index]
     }
 }
 
@@ -837,6 +1161,64 @@ mod tests {
         assert_eq!(fork, wl);
     }
 
+    fn access(t_us: u64, ip: u32, session: u64, bytes: u64) -> AccessLogEntry {
+        AccessLogEntry {
+            at: SimTime::from_micros(t_us),
+            origin: Origin::legit(ip, session),
+            request_type: RequestTypeId::new(0),
+            bytes,
+        }
+    }
+
+    #[test]
+    fn access_log_window_queries_match_naive() {
+        let mut log = AccessLog::with_seg_cap(4);
+        let mut entries = Vec::new();
+        for i in 0..37u64 {
+            let e = access(i * 250, 10 + (i % 3) as u32, i % 4, i);
+            log.push(e);
+            entries.push(e);
+        }
+        let (from, to) = (SimTime::from_micros(2_000), SimTime::from_micros(7_000));
+        let in_window = |e: &&AccessLogEntry| e.at >= from && e.at < to;
+
+        let mut seen = Vec::new();
+        log.for_each_in(from, to, |e| seen.push(*e));
+        let expect: Vec<AccessLogEntry> = entries.iter().filter(in_window).copied().collect();
+        assert_eq!(seen, expect);
+        assert_eq!(log.count_in(from, to), expect.len());
+
+        let by_ip = log.per_ip_times_in(from, to);
+        for ip in [10u32, 11, 12] {
+            let expect_times: Vec<SimTime> = entries
+                .iter()
+                .filter(in_window)
+                .filter(|e| e.origin.ip == ip)
+                .map(|e| e.at)
+                .collect();
+            assert_eq!(by_ip.get(&ip).cloned().unwrap_or_default(), expect_times);
+        }
+
+        let by_session = log.per_session_in(from, to);
+        for session in 0u64..4 {
+            let expect_pairs: Vec<(usize, SimTime)> = entries
+                .iter()
+                .enumerate()
+                .filter(|(_, e)| in_window(e) && e.origin.session == session)
+                .map(|(i, e)| (i, e.at))
+                .collect();
+            assert_eq!(
+                by_session.get(&session).cloned().unwrap_or_default(),
+                expect_pairs
+            );
+        }
+
+        // Degenerate windows.
+        assert_eq!(log.count_in(to, from), 0);
+        assert!(log.per_ip_times_in(to, from).is_empty());
+        assert!(log.per_session_in(to, to).is_empty());
+    }
+
     /// Naive reference: full scan with predicate filtering.
     fn naive(
         records: &[RequestRecord],
@@ -890,6 +1272,56 @@ mod tests {
                 log.for_each_matching(from, to, filter, |r| got.push(*r));
                 prop_assert_eq!(&got, &expect, "gather mismatch");
                 prop_assert_eq!(log.count_matching(from, to, filter), expect.len(), "count mismatch");
+            }
+        }
+
+        /// Access-log collation queries agree with a naive full scan over
+        /// random logs (duplicate timestamps, few/many IPs and sessions)
+        /// and random windows.
+        #[test]
+        fn access_collations_match_naive_scan(
+            seg_cap in 1usize..9,
+            steps in proptest::collection::vec((0u64..300, 0u32..4, 0u64..3), 0..160),
+            ranges in proptest::collection::vec((0u64..400, 0u64..400), 1..10),
+        ) {
+            let mut log = AccessLog::with_seg_cap(seg_cap);
+            let mut entries = Vec::new();
+            let mut t = 0u64;
+            for (dt, ip, session) in steps {
+                t += dt;
+                let e = access(t, 20 + ip, session, 64);
+                log.push(e);
+                entries.push(e);
+            }
+            for (a, b) in ranges {
+                let (from, to) = (SimTime::from_micros(a), SimTime::from_micros(b));
+                let mut got = Vec::new();
+                log.for_each_in(from, to, |e| got.push(*e));
+                let expect: Vec<AccessLogEntry> = entries
+                    .iter()
+                    .filter(|e| e.at >= from && e.at < to)
+                    .copied()
+                    .collect();
+                prop_assert_eq!(&got, &expect);
+                prop_assert_eq!(log.count_in(from, to), expect.len());
+
+                let by_ip = log.per_ip_times_in(from, to);
+                let mut expect_ip: std::collections::BTreeMap<u32, Vec<SimTime>> =
+                    std::collections::BTreeMap::new();
+                for e in &expect {
+                    expect_ip.entry(e.origin.ip).or_default().push(e.at);
+                }
+                prop_assert_eq!(by_ip, expect_ip);
+
+                let by_session = log.per_session_in(from, to);
+                let mut expect_session: std::collections::BTreeMap<u64, Vec<(usize, SimTime)>> =
+                    std::collections::BTreeMap::new();
+                for (i, e) in entries.iter().enumerate() {
+                    if e.at >= from && e.at < to {
+                        expect_session.entry(e.origin.session).or_default().push((i, e.at));
+                    }
+                }
+                prop_assert_eq!(by_session, expect_session);
             }
         }
     }

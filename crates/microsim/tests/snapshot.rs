@@ -151,6 +151,62 @@ proptest! {
         prop_assert_eq!(fork.metrics(), sim.metrics());
     }
 
+    /// Agent-internal sample stores survive the fork: a `FixedRate`
+    /// source's recorded latencies — held in a copy-on-write `SegSamples`
+    /// with sealed segments shared between fork and original — are
+    /// logically identical at the checkpoint, stay isolated while only one
+    /// side runs on, and re-converge bit-for-bit when both reach the same
+    /// simulated time.
+    #[test]
+    fn fork_preserves_agent_sample_state(seed in any::<u64>(), t1_s in 2u64..5) {
+        let mut b = TopologyBuilder::new();
+        let svc = b.add_service(ServiceSpec::new("api").threads(32).cores(2).demand_cv(0.2));
+        b.add_request_type("r", vec![(svc, SimDuration::from_millis(2))]);
+        let mut sim = Simulation::new(b.build(), SimConfig::default().seed(seed));
+        // 1 ms interval: enough completions by t1 to seal at least one
+        // 1024-sample segment, so the shared-spine path is exercised.
+        let id = sim.add_agent(Box::new(FixedRate::new(
+            RequestTypeId::new(0),
+            SimDuration::from_millis(1),
+            100_000,
+        )));
+
+        let t1 = SimTime::from_secs(t1_s);
+        let t2 = t1 + SimDuration::from_secs(3);
+        sim.run_until(t1);
+        let snapshot = sim.checkpoint().expect("FixedRate supports snapshotting");
+        let mut fork = Simulation::from_snapshot(&snapshot);
+
+        let stats = |s: &Simulation| {
+            let lat = s
+                .agent_as::<FixedRate>(id)
+                .expect("agent survives the fork")
+                .latencies_ms();
+            (lat.len(), lat.mean().to_bits(), lat.max().to_bits())
+        };
+        let at_t1 = stats(&sim);
+        prop_assert!(at_t1.0 > 1024, "want a sealed segment, got {} samples", at_t1.0);
+        prop_assert_eq!(stats(&fork), at_t1);
+        let p99 = |s: &mut Simulation| {
+            s.agent_as_mut::<FixedRate>(id)
+                .expect("agent survives the fork")
+                .latencies_ms_mut()
+                .percentile(0.99)
+                .to_bits()
+        };
+        prop_assert_eq!(p99(&mut fork), p99(&mut sim));
+
+        // Running only the original leaves the fork's store untouched.
+        sim.run_until(t2);
+        prop_assert_eq!(stats(&fork), at_t1);
+        prop_assert!(stats(&sim).0 > at_t1.0, "original kept recording");
+
+        // Catching the fork up re-converges every statistic bit-for-bit.
+        fork.run_until(t2);
+        prop_assert_eq!(stats(&fork), stats(&sim));
+        prop_assert_eq!(p99(&mut fork), p99(&mut sim));
+    }
+
     /// The snapshot is immutable: running one fork does not disturb a
     /// sibling forked from the same snapshot later.
     #[test]

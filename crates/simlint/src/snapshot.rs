@@ -35,7 +35,7 @@ pub struct SnapshotTarget<'a> {
 }
 
 /// The workspace's tracked snapshot structs.
-pub const TARGETS: [SnapshotTarget<'static>; 3] = [
+pub const TARGETS: [SnapshotTarget<'static>; 5] = [
     SnapshotTarget {
         struct_name: "Kernel",
         struct_file: "crates/microsim/src/kernel.rs",
@@ -53,6 +53,20 @@ pub const TARGETS: [SnapshotTarget<'static>; 3] = [
         struct_name: "Metrics",
         struct_file: "crates/microsim/src/metrics.rs",
         clone_file: "crates/microsim/src/snapshot.rs",
+    },
+    // The copy-on-write sample stores are the agents' snapshot payload: an
+    // agent fork shares sealed segments and copies only the mutable tail.
+    // A field added to either store but missed by its manual `Clone` would
+    // silently reset on every fork.
+    SnapshotTarget {
+        struct_name: "SegSamples",
+        struct_file: "crates/simnet/src/stats.rs",
+        clone_file: "crates/simnet/src/stats.rs",
+    },
+    SnapshotTarget {
+        struct_name: "SegStore",
+        struct_file: "crates/simnet/src/stats.rs",
+        clone_file: "crates/simnet/src/stats.rs",
     },
 ];
 

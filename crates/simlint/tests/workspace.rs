@@ -80,3 +80,25 @@ fn deleting_a_metrics_field_clone_line_is_caught() {
         "expected a snapshot-complete finding for `request_log`, got: {diags:?}"
     );
 }
+
+#[test]
+fn deleting_a_seg_samples_field_clone_line_is_caught() {
+    let diags = check_with_deleted_line("SegSamples", "tail_sorted: self.tail_sorted.clone()");
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.contains("[snapshot-complete]") && d.contains("`tail_sorted`")),
+        "expected a snapshot-complete finding for `tail_sorted`, got: {diags:?}"
+    );
+}
+
+#[test]
+fn deleting_a_seg_store_field_clone_line_is_caught() {
+    let diags = check_with_deleted_line("SegStore", "seg_cap: self.seg_cap");
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.contains("[snapshot-complete]") && d.contains("`seg_cap`")),
+        "expected a snapshot-complete finding for `seg_cap`, got: {diags:?}"
+    );
+}

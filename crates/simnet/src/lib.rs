@@ -37,5 +37,5 @@ pub mod time;
 
 pub use event::{EventQueue, HeapEventQueue};
 pub use rng::{derive_seed, lognormal_mean_cv_from_z, RngStream};
-pub use stats::{Histogram, SampleSet, Welford};
+pub use stats::{Histogram, SampleSet, SegSamples, SegStore, Welford, SAMPLE_SEG_CAP};
 pub use time::{SimDuration, SimTime};

@@ -7,6 +7,11 @@
 //! * [`SampleSet`] — keeps every sample for exact percentiles; used for
 //!   response-time distributions where exactness matters (the paper reports
 //!   p95 latencies).
+//! * [`SegSamples`] — copy-on-write [`SampleSet`]: sealed `Arc`-shared
+//!   segments plus a bounded mutable tail, so snapshot/fork cost is
+//!   O(tail) while means and exact percentiles stay bit-identical.
+//! * [`SegStore`] — the same copy-on-write layout for arbitrary
+//!   append-only records (agent sample journals).
 //! * [`Histogram`] — fixed-bin counts for memory-bounded percentile
 //!   estimates over very long runs.
 
@@ -238,6 +243,484 @@ impl Extend<f64> for SampleSet {
 impl FromIterator<f64> for SampleSet {
     fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
         let mut s = SampleSet::new();
+        s.extend(iter);
+        s
+    }
+}
+
+/// Default segment capacity for [`SegSamples`] and [`SegStore`].
+///
+/// Smaller than `microsim::seglog::SEG_CAP` because sample stores are
+/// cloned on every fork: the mutable tail (the only part that is deep
+/// copied) stays under 8 KiB of `f64`s.
+pub const SAMPLE_SEG_CAP: usize = 1024;
+
+/// One sealed, immutable segment of a [`SegSamples`] store.
+///
+/// Holds the samples both in insertion order (for order-sensitive mean
+/// accumulation) and sorted (computed once at seal time, for percentile
+/// merges). Sealed segments are shared by `Arc`, so cloning the store
+/// never copies them.
+#[derive(Debug)]
+struct SampleSeg {
+    /// Samples in insertion order.
+    data: Vec<f64>,
+    /// The same samples sorted ascending (stable sort, so ties keep
+    /// insertion order — exactly what `SampleSet`'s lazy full sort does).
+    sorted: Vec<f64>,
+}
+
+/// Copy-on-write exact percentile collector.
+///
+/// Drop-in replacement for [`SampleSet`] in long-lived agents: samples are
+/// stored in immutable `Arc`-shared sealed segments of [`SAMPLE_SEG_CAP`]
+/// entries plus one bounded mutable tail, so cloning the store (the
+/// dominant agent cost of `Simulation::checkpoint`/fork) is O(tail)
+/// regardless of how many samples the warm prefix accumulated.
+///
+/// Statistics are bit-identical to `SampleSet` over the same insertion
+/// sequence: `mean` folds in insertion order, `max` replicates the
+/// `fold(NEG_INFINITY, f64::max).max(0.0)` quirk, and `percentile` /
+/// [`SegSamples::nth_smallest`] select by a k-way merge of the per-segment
+/// stable sorts, which reproduces the lazy full stable sort's order
+/// (including ties). The one intentional difference: `SampleSet::mean`
+/// reflects *sorted* order after a `percentile` call has sorted it in
+/// place; `SegSamples::mean` always folds in insertion order.
+///
+/// # Example
+///
+/// ```
+/// let mut s = simnet::SegSamples::new();
+/// for x in 1..=100 {
+///     s.push(x as f64);
+/// }
+/// assert_eq!(s.percentile(0.95), 95.0);
+/// let fork = s.clone(); // O(tail): sealed segments are Arc-shared
+/// assert_eq!(fork.len(), 100);
+/// ```
+#[derive(Debug)]
+pub struct SegSamples {
+    /// Sealed immutable segments, shared between clones. The spine `Arc`
+    /// makes a clone a single refcount bump regardless of segment count;
+    /// sealing while forks share the spine copies only the spine
+    /// (`Arc::make_mut`), never the samples.
+    sealed: std::sync::Arc<Vec<std::sync::Arc<SampleSeg>>>,
+    /// Mutable tail, strictly shorter than `seg_cap`; deep-copied on clone.
+    tail: Vec<f64>,
+    /// Cached stable sort of `tail`; valid when `!tail_dirty`.
+    tail_sorted: Vec<f64>,
+    /// Set by `push`, cleared when `tail_sorted` is rebuilt.
+    tail_dirty: bool,
+    /// Segment capacity (constant per store).
+    seg_cap: usize,
+}
+
+// Manual per-field impl (not derived) so simlint's snapshot-complete rule
+// can verify every field is carried across a fork.
+impl Clone for SegSamples {
+    fn clone(&self) -> Self {
+        SegSamples {
+            sealed: self.sealed.clone(),
+            tail: self.tail.clone(),
+            tail_sorted: self.tail_sorted.clone(),
+            tail_dirty: self.tail_dirty,
+            seg_cap: self.seg_cap,
+        }
+    }
+}
+
+impl Default for SegSamples {
+    fn default() -> Self {
+        SegSamples::new()
+    }
+}
+
+impl PartialEq for SegSamples {
+    fn eq(&self, other: &Self) -> bool {
+        self.len() == other.len() && self.iter().zip(other.iter()).all(|(a, b)| a == b)
+    }
+}
+
+/// Cursor into one sorted run during the k-way percentile merge.
+///
+/// Ordering is by value, tie-broken by `(list, pos)` — i.e. by global
+/// insertion order, since runs are stable-sorted and listed oldest first —
+/// so the merge reproduces the order of one stable sort over everything.
+struct MergeCursor {
+    val: f64,
+    list: u32,
+    pos: u32,
+}
+
+impl PartialEq for MergeCursor {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+
+impl Eq for MergeCursor {}
+
+impl PartialOrd for MergeCursor {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for MergeCursor {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.val
+            .partial_cmp(&other.val)
+            .expect("NaN sample")
+            .then(self.list.cmp(&other.list))
+            .then(self.pos.cmp(&other.pos))
+    }
+}
+
+impl SegSamples {
+    /// Creates an empty store with the default segment capacity.
+    pub fn new() -> Self {
+        SegSamples::with_seg_cap(SAMPLE_SEG_CAP)
+    }
+
+    /// Creates an empty store sealing segments at `seg_cap` samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seg_cap` is zero.
+    pub fn with_seg_cap(seg_cap: usize) -> Self {
+        assert!(seg_cap > 0, "segment capacity must be positive");
+        SegSamples {
+            sealed: std::sync::Arc::new(Vec::new()),
+            tail: Vec::new(),
+            tail_sorted: Vec::new(),
+            tail_dirty: false,
+            seg_cap,
+        }
+    }
+
+    /// Adds one sample, sealing the tail into an immutable segment when it
+    /// reaches the segment capacity. Segmentation is a pure function of the
+    /// sample count, so forked and cold stores are structurally identical.
+    pub fn push(&mut self, x: f64) {
+        self.tail.push(x);
+        self.tail_dirty = true;
+        if self.tail.len() == self.seg_cap {
+            self.seal_tail();
+        }
+    }
+
+    fn seal_tail(&mut self) {
+        let data = std::mem::replace(&mut self.tail, Vec::with_capacity(self.seg_cap));
+        let mut sorted = data.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+        let seg = std::sync::Arc::new(SampleSeg { data, sorted });
+        std::sync::Arc::make_mut(&mut self.sealed).push(seg);
+        self.tail_sorted.clear();
+        self.tail_dirty = false;
+    }
+
+    /// Appends all of `other`'s samples in `other`'s insertion order.
+    pub fn merge(&mut self, other: &SegSamples) {
+        self.extend(other.iter());
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sealed.len() * self.seg_cap + self.tail.len()
+    }
+
+    /// `true` when no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.sealed.is_empty() && self.tail.is_empty()
+    }
+
+    /// All samples in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = f64> + '_ {
+        self.sealed
+            .iter()
+            .flat_map(|seg| seg.data.iter().copied())
+            .chain(self.tail.iter().copied())
+    }
+
+    /// Arithmetic mean, folded in insertion order; `0.0` when empty.
+    pub fn mean(&self) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        self.iter().sum::<f64>() / self.len() as f64
+    }
+
+    /// The `q`-quantile (nearest-rank), `q` in `[0, 1]`; `0.0` when empty.
+    ///
+    /// Matches `SampleSet::percentile` exactly: same rank formula, same
+    /// stable ordering of ties.
+    pub fn percentile(&mut self, q: f64) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((self.len() as f64 * q).ceil() as usize).max(1) - 1;
+        self.nth_smallest(rank.min(self.len() - 1))
+    }
+
+    /// The sample at `rank` (0-based) of the stable ascending sort —
+    /// `nth_smallest(len / 2)` is the upper-median `Profiler` uses.
+    ///
+    /// Runs a k-way merge over the per-segment seal-time sorts plus the
+    /// (lazily sorted, cached) tail: O(min(rank, len - rank) · log
+    /// segments), never a full re-sort.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank >= len()` or any sample is NaN.
+    pub fn nth_smallest(&mut self, rank: usize) -> f64 {
+        let n = self.len();
+        assert!(rank < n, "rank {rank} out of range for {n} samples");
+        if self.tail_dirty {
+            self.tail_sorted.clear();
+            self.tail_sorted.extend_from_slice(&self.tail);
+            self.tail_sorted
+                .sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+            self.tail_dirty = false;
+        }
+        let runs: Vec<&[f64]> = self
+            .sealed
+            .iter()
+            .map(|seg| seg.sorted.as_slice())
+            .chain(std::iter::once(self.tail_sorted.as_slice()))
+            .collect();
+        if rank <= (n - 1) / 2 {
+            Self::select_from_bottom(&runs, rank)
+        } else {
+            Self::select_from_top(&runs, n - 1 - rank)
+        }
+    }
+
+    /// Pops the merge `rank + 1` times from the ascending side.
+    fn select_from_bottom(runs: &[&[f64]], rank: usize) -> f64 {
+        use std::cmp::Reverse;
+        let mut heap: std::collections::BinaryHeap<Reverse<MergeCursor>> = runs
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| !r.is_empty())
+            .map(|(i, r)| {
+                Reverse(MergeCursor {
+                    val: r[0],
+                    list: i as u32,
+                    pos: 0,
+                })
+            })
+            .collect();
+        let mut remaining = rank;
+        loop {
+            let Reverse(cur) = heap.pop().expect("rank within bounds");
+            if remaining == 0 {
+                return cur.val;
+            }
+            remaining -= 1;
+            let run = runs[cur.list as usize];
+            let next = cur.pos as usize + 1;
+            if next < run.len() {
+                heap.push(Reverse(MergeCursor {
+                    val: run[next],
+                    list: cur.list,
+                    pos: next as u32,
+                }));
+            }
+        }
+    }
+
+    /// Pops the merge `back_rank + 1` times from the descending side.
+    /// Ties pop highest `(list, pos)` first — the exact reverse of the
+    /// stable ascending order, so both directions agree on every rank.
+    fn select_from_top(runs: &[&[f64]], back_rank: usize) -> f64 {
+        let mut heap: std::collections::BinaryHeap<MergeCursor> = runs
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| !r.is_empty())
+            .map(|(i, r)| MergeCursor {
+                val: *r.last().expect("nonempty run"),
+                list: i as u32,
+                pos: (r.len() - 1) as u32,
+            })
+            .collect();
+        let mut remaining = back_rank;
+        loop {
+            let cur = heap.pop().expect("rank within bounds");
+            if remaining == 0 {
+                return cur.val;
+            }
+            remaining -= 1;
+            if cur.pos > 0 {
+                let run = runs[cur.list as usize];
+                heap.push(MergeCursor {
+                    val: run[cur.pos as usize - 1],
+                    list: cur.list,
+                    pos: cur.pos - 1,
+                });
+            }
+        }
+    }
+
+    /// Largest sample; `0.0` when empty (replicates `SampleSet::max`,
+    /// including its fold order and the clamp to zero).
+    pub fn max(&self) -> f64 {
+        self.iter().fold(f64::NEG_INFINITY, f64::max).max(0.0)
+    }
+
+    /// Removes all samples.
+    pub fn clear(&mut self) {
+        // Fresh spine rather than `make_mut` + clear: forks sharing the old
+        // spine keep it untouched.
+        self.sealed = std::sync::Arc::new(Vec::new());
+        self.tail.clear();
+        self.tail_sorted.clear();
+        self.tail_dirty = false;
+    }
+}
+
+impl Extend<f64> for SegSamples {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+impl FromIterator<f64> for SegSamples {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        let mut s = SegSamples::new();
+        s.extend(iter);
+        s
+    }
+}
+
+/// Generic copy-on-write append-only store.
+///
+/// The non-statistical sibling of [`SegSamples`]: immutable `Arc`-shared
+/// sealed segments plus one bounded mutable tail, so cloning is O(tail).
+/// Used for per-agent sample journals (e.g. `ClosedLoopUsers`' timestamped
+/// latency pairs) that previously deep-copied a `Vec` on every fork.
+#[derive(Debug)]
+pub struct SegStore<T> {
+    /// Sealed immutable segments, shared between clones. Spine behind one
+    /// `Arc` so a clone is O(1) in the segment count (see [`SegSamples`]).
+    sealed: std::sync::Arc<Vec<std::sync::Arc<Vec<T>>>>,
+    /// Mutable tail, strictly shorter than `seg_cap`; deep-copied on clone.
+    tail: Vec<T>,
+    /// Segment capacity (constant per store).
+    seg_cap: usize,
+}
+
+// Manual per-field impl (not derived) so simlint's snapshot-complete rule
+// can verify every field is carried across a fork.
+impl<T: Clone> Clone for SegStore<T> {
+    fn clone(&self) -> Self {
+        SegStore {
+            sealed: self.sealed.clone(),
+            tail: self.tail.clone(),
+            seg_cap: self.seg_cap,
+        }
+    }
+}
+
+impl<T> Default for SegStore<T> {
+    fn default() -> Self {
+        SegStore::new()
+    }
+}
+
+impl<T: PartialEq> PartialEq for SegStore<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.len() == other.len() && self.iter().zip(other.iter()).all(|(a, b)| a == b)
+    }
+}
+
+impl<T> SegStore<T> {
+    /// Creates an empty store with the default segment capacity.
+    pub fn new() -> Self {
+        SegStore::with_seg_cap(SAMPLE_SEG_CAP)
+    }
+
+    /// Creates an empty store sealing segments at `seg_cap` items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seg_cap` is zero.
+    pub fn with_seg_cap(seg_cap: usize) -> Self {
+        assert!(seg_cap > 0, "segment capacity must be positive");
+        SegStore {
+            sealed: std::sync::Arc::new(Vec::new()),
+            tail: Vec::new(),
+            seg_cap,
+        }
+    }
+
+    /// Appends one item, sealing the tail when it reaches capacity.
+    /// Segmentation depends only on the item count, so forked and cold
+    /// stores are structurally identical.
+    pub fn push(&mut self, item: T) {
+        self.tail.push(item);
+        if self.tail.len() == self.seg_cap {
+            let seg = std::mem::replace(&mut self.tail, Vec::with_capacity(self.seg_cap));
+            std::sync::Arc::make_mut(&mut self.sealed).push(std::sync::Arc::new(seg));
+        }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.sealed.len() * self.seg_cap + self.tail.len()
+    }
+
+    /// `true` when no items were stored.
+    pub fn is_empty(&self) -> bool {
+        self.sealed.is_empty() && self.tail.is_empty()
+    }
+
+    /// All items in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.sealed
+            .iter()
+            .flat_map(|seg| seg.iter())
+            .chain(self.tail.iter())
+    }
+
+    /// The most recently pushed item.
+    pub fn last(&self) -> Option<&T> {
+        self.tail
+            .last()
+            .or_else(|| self.sealed.last().and_then(|seg| seg.last()))
+    }
+
+    /// Removes all items.
+    pub fn clear(&mut self) {
+        // Fresh spine rather than `make_mut` + clear: forks sharing the old
+        // spine keep it untouched.
+        self.sealed = std::sync::Arc::new(Vec::new());
+        self.tail.clear();
+    }
+}
+
+impl<'a, T> IntoIterator for &'a SegStore<T> {
+    type Item = &'a T;
+    type IntoIter = Box<dyn Iterator<Item = &'a T> + 'a>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        Box::new(self.iter())
+    }
+}
+
+impl<T> Extend<T> for SegStore<T> {
+    fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
+        for item in iter {
+            self.push(item);
+        }
+    }
+}
+
+impl<T> FromIterator<T> for SegStore<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let mut s = SegStore::new();
         s.extend(iter);
         s
     }
@@ -483,5 +966,115 @@ mod tests {
     #[should_panic(expected = "upper bound must be positive")]
     fn histogram_rejects_bad_upper() {
         Histogram::new(0.0, 4);
+    }
+
+    #[test]
+    fn seg_samples_matches_sample_set_statistics() {
+        let xs: Vec<f64> = (0..2500).map(|i| ((i * 37) % 1000) as f64 / 7.0).collect();
+        let mut seg = SegSamples::new();
+        let mut set = SampleSet::new();
+        for &x in &xs {
+            seg.push(x);
+            set.push(x);
+        }
+        assert_eq!(seg.len(), set.len());
+        assert_eq!(seg.mean(), set.mean());
+        assert_eq!(seg.max(), set.max());
+        for q in [0.0, 0.01, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0] {
+            assert_eq!(seg.percentile(q), set.percentile(q), "q={q}");
+        }
+    }
+
+    #[test]
+    fn seg_samples_nth_smallest_is_full_sort_rank() {
+        let xs: Vec<f64> = (0..300).map(|i| ((i * 53) % 97) as f64).collect();
+        let mut seg = SegSamples::with_seg_cap(64);
+        let mut sorted = xs.clone();
+        for &x in &xs {
+            seg.push(x);
+        }
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN"));
+        for (rank, &expect) in sorted.iter().enumerate() {
+            assert_eq!(seg.nth_smallest(rank), expect, "rank={rank}");
+        }
+    }
+
+    #[test]
+    fn seg_samples_empty_behaviour() {
+        let mut s = SegSamples::new();
+        assert!(s.is_empty());
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.percentile(0.5), 0.0);
+        assert_eq!(s.max(), 0.0);
+    }
+
+    #[test]
+    fn seg_samples_clone_shares_sealed_segments() {
+        let mut s = SegSamples::with_seg_cap(8);
+        for i in 0..20 {
+            s.push(i as f64);
+        }
+        let fork = s.clone();
+        assert_eq!(fork, s);
+        assert_eq!(s.sealed.len(), 2);
+        for (a, b) in s.sealed.iter().zip(fork.sealed.iter()) {
+            assert!(std::sync::Arc::ptr_eq(a, b));
+        }
+    }
+
+    #[test]
+    fn seg_samples_interleaved_push_and_percentile() {
+        let mut seg = SegSamples::with_seg_cap(4);
+        let mut set = SampleSet::new();
+        for i in 0..50 {
+            let x = ((i * 29) % 13) as f64;
+            seg.push(x);
+            set.push(x);
+            assert_eq!(seg.percentile(0.5), set.percentile(0.5), "after {i}");
+        }
+    }
+
+    #[test]
+    fn seg_samples_merge_matches_sample_set_merge() {
+        let a_items: Vec<f64> = (0..700).map(|i| (i % 31) as f64).collect();
+        let b_items: Vec<f64> = (0..900).map(|i| (i % 17) as f64 * 2.0).collect();
+        let mut seg: SegSamples = a_items.iter().copied().collect();
+        let seg_b: SegSamples = b_items.iter().copied().collect();
+        let mut set: SampleSet = a_items.iter().copied().collect();
+        let set_b: SampleSet = b_items.iter().copied().collect();
+        seg.merge(&seg_b);
+        set.merge(&set_b);
+        assert_eq!(seg.len(), set.len());
+        assert_eq!(seg.mean(), set.mean());
+        for q in [0.1, 0.5, 0.95] {
+            assert_eq!(seg.percentile(q), set.percentile(q));
+        }
+        seg.clear();
+        assert!(seg.is_empty());
+        assert_eq!(seg.percentile(0.5), 0.0);
+    }
+
+    #[test]
+    fn seg_store_keeps_insertion_order_and_shares_segments() {
+        let mut s = SegStore::with_seg_cap(4);
+        for i in 0..11 {
+            s.push((i, i * 2));
+        }
+        assert_eq!(s.len(), 11);
+        assert_eq!(s.last(), Some(&(10, 20)));
+        let items: Vec<(i32, i32)> = s.iter().copied().collect();
+        assert_eq!(items, (0..11).map(|i| (i, i * 2)).collect::<Vec<_>>());
+        let fork = s.clone();
+        assert_eq!(fork, s);
+        for (a, b) in s.sealed.iter().zip(fork.sealed.iter()) {
+            assert!(std::sync::Arc::ptr_eq(a, b));
+        }
+        let mut t: SegStore<(i32, i32)> = SegStore::new();
+        assert!(t.is_empty());
+        assert_eq!(t.last(), None);
+        t.extend(s.iter().copied());
+        assert_eq!(t, s);
+        t.clear();
+        assert!(t.is_empty());
     }
 }

@@ -2,7 +2,8 @@
 
 use proptest::prelude::*;
 use simnet::{
-    derive_seed, EventQueue, HeapEventQueue, RngStream, SampleSet, SimDuration, SimTime, Welford,
+    derive_seed, EventQueue, HeapEventQueue, RngStream, SampleSet, SegSamples, SimDuration,
+    SimTime, Welford,
 };
 
 proptest! {
@@ -134,6 +135,76 @@ proptest! {
         let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         prop_assert_eq!(lo, min);
         prop_assert_eq!(hi, max);
+    }
+
+    /// Differential test: the segmented COW store and the flat reference
+    /// collector return bit-identical statistics for arbitrary push/merge
+    /// programs, segment capacities, and quantiles.
+    #[test]
+    fn seg_samples_matches_sample_set(
+        chunks in prop::collection::vec(prop::collection::vec(-1e9f64..1e9, 0..40), 1..12),
+        seg_cap in 1usize..9,
+        qs in prop::collection::vec(0.0f64..1.0, 1..6),
+    ) {
+        let mut seg = SegSamples::with_seg_cap(seg_cap);
+        let mut flat = SampleSet::new();
+        for chunk in &chunks {
+            // Build each chunk as its own store and merge it in, so the
+            // program exercises merge across arbitrary seal phases, not
+            // just straight-line pushes.
+            let mut sc = SegSamples::with_seg_cap(seg_cap);
+            let mut fc = SampleSet::new();
+            for &x in chunk {
+                sc.push(x);
+                fc.push(x);
+            }
+            seg.merge(&sc);
+            flat.merge(&fc);
+        }
+        prop_assert_eq!(seg.len(), flat.len());
+        // Order-sensitive statistics must be compared before any percentile
+        // call: `SampleSet::percentile` sorts its samples in place, changing
+        // the f64 accumulation order of its mean, while `SegSamples::mean`
+        // always folds insertion order.
+        prop_assert_eq!(seg.mean(), flat.mean());
+        prop_assert_eq!(seg.max(), flat.max());
+        for &q in &qs {
+            prop_assert_eq!(seg.percentile(q), flat.percentile(q));
+        }
+        prop_assert_eq!(seg.percentile(0.0), flat.percentile(0.0));
+        prop_assert_eq!(seg.percentile(1.0), flat.percentile(1.0));
+    }
+
+    /// A forked (cloned) store is fully isolated: pushes to the parent
+    /// after the fork never leak into the fork, sealing in the parent
+    /// leaves the shared spine of the fork untouched, and both sides keep
+    /// matching independent flat references.
+    #[test]
+    fn seg_samples_fork_is_isolated(
+        before in prop::collection::vec(-1e6f64..1e6, 0..60),
+        after in prop::collection::vec(-1e6f64..1e6, 1..60),
+        seg_cap in 1usize..9,
+    ) {
+        let mut parent = SegSamples::with_seg_cap(seg_cap);
+        let mut flat_before = SampleSet::new();
+        for &x in &before {
+            parent.push(x);
+            flat_before.push(x);
+        }
+        let mut fork = parent.clone();
+        let mut flat_after = flat_before.clone();
+        for &x in &after {
+            parent.push(x);
+            flat_after.push(x);
+        }
+        prop_assert_eq!(fork.len(), flat_before.len());
+        prop_assert_eq!(parent.len(), flat_after.len());
+        prop_assert_eq!(fork.mean(), flat_before.mean());
+        prop_assert_eq!(parent.mean(), flat_after.mean());
+        prop_assert_eq!(fork.percentile(0.5), flat_before.percentile(0.5));
+        prop_assert_eq!(parent.percentile(0.5), flat_after.percentile(0.5));
+        prop_assert_eq!(fork.percentile(1.0), flat_before.percentile(1.0));
+        prop_assert_eq!(parent.percentile(1.0), flat_after.percentile(1.0));
     }
 
     /// RNG streams derived from the same (seed, label) are identical;

@@ -82,6 +82,64 @@ impl CoarseMonitor {
         CoarseMonitor { interval, samples }
     }
 
+    /// Aggregates only the coarse buckets whose start lies in `[from, to)`.
+    ///
+    /// Bucket boundaries stay aligned to the run start exactly as in
+    /// [`CoarseMonitor::new`] (bucket `k` covers fine rows
+    /// `[k·per, (k+1)·per)`), and each in-window bucket accumulates its
+    /// rows in the same order, so the produced samples are bit-identical
+    /// to the corresponding samples of a full aggregation. Window row `w`
+    /// starts at exactly `w · window`, so locating the bucket range is
+    /// O(1) and the cost is O(in-window rows), not O(run).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is smaller than the metrics window.
+    pub fn over(metrics: &Metrics, interval: SimDuration, from: SimTime, to: SimTime) -> Self {
+        let fine = metrics.window();
+        assert!(
+            interval >= fine,
+            "coarse interval must not be finer than the metrics window"
+        );
+        let per = (interval.as_micros() / fine.as_micros()).max(1) as usize;
+        let span = per as u64 * fine.as_micros();
+        let rows = metrics.num_windows();
+        let buckets = rows.div_ceil(per);
+        let lo = (from.as_micros().div_ceil(span) as usize).min(buckets);
+        let hi = (to.as_micros().div_ceil(span) as usize).min(buckets);
+        let nsvc = metrics.num_services();
+        let mut samples: Vec<Vec<CoarseSample>> = vec![Vec::new(); nsvc];
+        for k in lo..hi {
+            let (a, b) = (k * per, ((k + 1) * per).min(rows));
+            let n = (b - a) as f64;
+            for (s, series) in samples.iter_mut().enumerate() {
+                let service = ServiceId::new(s as u32);
+                let mut start = SimTime::ZERO;
+                let mut util = 0.0;
+                let mut queue = 0.0;
+                let mut arrivals = 0u32;
+                let mut replicas = 0u32;
+                for (i, w) in metrics.service_window_range(service, a, b).enumerate() {
+                    if i == 0 {
+                        start = w.start;
+                    }
+                    util += w.utilization(fine);
+                    queue += f64::from(w.queue_len());
+                    arrivals += w.arrivals;
+                    replicas = w.replicas;
+                }
+                series.push(CoarseSample {
+                    start,
+                    utilization: util / n,
+                    queue_len: queue / n,
+                    replicas,
+                    arrivals,
+                });
+            }
+        }
+        CoarseMonitor { interval, samples }
+    }
+
     /// The aggregation interval.
     pub fn interval(&self) -> SimDuration {
         self.interval
@@ -194,6 +252,31 @@ mod tests {
         let mid = series[2].utilization;
         assert!((mid - 0.5).abs() < 0.1, "utilization {mid}");
         assert_eq!(cw.interval(), SimDuration::from_secs(1));
+    }
+
+    #[test]
+    fn windowed_aggregation_matches_full() {
+        let m = run();
+        let svc = ServiceId::new(0);
+        let full = CoarseMonitor::new(&m, SimDuration::from_secs(1));
+        let (from, to) = (SimTime::from_secs(1), SimTime::from_secs(4));
+        let windowed = CoarseMonitor::over(&m, SimDuration::from_secs(1), from, to);
+        let expect: Vec<CoarseSample> = full
+            .series(svc)
+            .iter()
+            .filter(|s| s.start >= from && s.start < to)
+            .copied()
+            .collect();
+        assert_eq!(windowed.series(svc), &expect[..]);
+        let all = CoarseMonitor::over(
+            &m,
+            SimDuration::from_secs(1),
+            SimTime::ZERO,
+            SimTime::FAR_FUTURE,
+        );
+        assert_eq!(all.series(svc), full.series(svc));
+        let empty = CoarseMonitor::over(&m, SimDuration::from_secs(1), to, to);
+        assert!(empty.series(svc).is_empty());
     }
 
     #[test]

@@ -4,7 +4,7 @@ use std::collections::HashMap;
 
 use callgraph::RequestTypeId;
 use microsim::{Agent, Origin, Response, SimCtx};
-use simnet::{RngStream, SimDuration, SimTime, Welford};
+use simnet::{RngStream, SegStore, SimDuration, SimTime, Welford};
 
 /// A Markov model of how a user navigates the application's pages.
 ///
@@ -112,7 +112,9 @@ pub struct ClosedLoopUsers {
     /// Client-side latency stats (ms) over the whole run.
     latency: Welford,
     /// Raw (completion time, latency ms) samples for windowed series.
-    samples: Vec<(SimTime, f64)>,
+    /// Copy-on-write so snapshotting the population is O(tail), not
+    /// O(completed requests).
+    samples: SegStore<(SimTime, f64)>,
     /// Collect raw samples only after this time (lets experiments exclude
     /// warm-up).
     record_after: SimTime,
@@ -138,7 +140,7 @@ impl ClosedLoopUsers {
             rng,
             outstanding: HashMap::new(),
             latency: Welford::new(),
-            samples: Vec::new(),
+            samples: SegStore::new(),
             record_after: SimTime::ZERO,
         }
     }
@@ -169,7 +171,7 @@ impl ClosedLoopUsers {
 
     /// Raw `(completed_at, latency_ms)` samples recorded after the
     /// configured threshold.
-    pub fn samples(&self) -> &[(SimTime, f64)] {
+    pub fn samples(&self) -> &SegStore<(SimTime, f64)> {
         &self.samples
     }
 

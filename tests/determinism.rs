@@ -102,6 +102,74 @@ fn warm_fork_is_byte_identical_to_cold() {
     assert_eq!(forked.attack_window, cold.attack_window);
 }
 
+/// Defense analytics are fork-invariant: a forked run shares the warm
+/// prefix's sealed access-log segments and their per-segment indexes,
+/// while a cold run builds everything inline — yet the IDS and rate-limit
+/// shield must report identically over both, and the indexed window
+/// queries must keep matching their naive full-scan ground truths on the
+/// forked store.
+#[test]
+fn indexed_defense_analytics_are_fork_invariant() {
+    use defense::{Ids, IdsConfig, RateShield};
+    use lab::{AttackRun, Scenario};
+
+    let scenario = Scenario::social_network(
+        "defense-fork-test",
+        microsim::PlatformProfile::ec2(),
+        1_500,
+        1_500,
+        0xDEF5,
+    );
+    let baseline = SimDuration::from_secs(20);
+    let attack = SimDuration::from_secs(60);
+    let forked =
+        AttackRun::execute_opts(&scenario, CampaignConfig::default(), baseline, attack, true);
+    let cold = AttackRun::execute_opts(
+        &scenario,
+        CampaignConfig::default(),
+        baseline,
+        attack,
+        false,
+    );
+
+    let ids = Ids::new(IdsConfig::default());
+    let shield = RateShield::paper_default();
+    // One window inside the attack, one spanning the fork point.
+    let windows = [
+        (SimTime::from_secs(30), SimTime::from_secs(60)),
+        (SimTime::from_secs(10), SimTime::from_secs(25)),
+    ];
+    for (from, to) in windows {
+        let report = ids.analyze_window(forked.sim.metrics(), from, to);
+        assert_eq!(
+            report,
+            ids.analyze_window(cold.sim.metrics(), from, to),
+            "IDS reports differ between forked and cold runs over [{from:?}, {to:?})"
+        );
+        assert_eq!(
+            report,
+            ids.analyze_naive(forked.sim.metrics(), from, to),
+            "indexed IDS diverges from the naive scan on the forked store"
+        );
+        let verdicts = shield.analyze_window(forked.sim.metrics(), from, to);
+        assert_eq!(
+            verdicts,
+            shield.analyze_window(cold.sim.metrics(), from, to),
+            "shield verdicts differ between forked and cold runs over [{from:?}, {to:?})"
+        );
+        assert_eq!(
+            verdicts,
+            shield.analyze_naive(forked.sim.metrics(), from, to),
+            "indexed shield diverges from the naive scan on the forked store"
+        );
+    }
+    assert_eq!(
+        ids.analyze(forked.sim.metrics()),
+        ids.analyze(cold.sim.metrics()),
+        "full-run IDS reports differ between forked and cold runs"
+    );
+}
+
 /// Several attack variants forked from one shared `WarmProfiled` each match
 /// a dedicated cold run that re-simulated the whole prefix inline — the
 /// property that makes attack-parameter sweeps safe to share prefixes.
