@@ -94,8 +94,8 @@ impl<T> SegLog<T> {
     pub fn push(&mut self, item: T) {
         self.tail.push(item);
         if self.tail.len() == self.seg_cap {
-            let seg = std::mem::replace(&mut self.tail, Vec::with_capacity(self.seg_cap));
-            Arc::make_mut(&mut self.sealed).push(Arc::new(seg));
+            let seg = std::mem::replace(&mut self.tail, Vec::with_capacity(self.seg_cap)); // simlint: allow(hot-path-alloc) — amortized: one seal per seg_cap pushes
+            Arc::make_mut(&mut self.sealed).push(Arc::new(seg)); // simlint: allow(hot-path-alloc) — amortized: one seal per seg_cap pushes
         }
     }
 
@@ -278,15 +278,15 @@ impl Csr {
     /// offsets stay ascending — i.e. chronological — within each group).
     pub fn build<T>(records: &[T], key: impl Fn(&T) -> usize) -> Csr {
         let groups = records.iter().map(&key).max().map_or(0, |m| m + 1);
-        let mut starts = vec![0u32; groups + 1];
+        let mut starts = vec![0u32; groups + 1]; // simlint: allow(hot-path-alloc) — runs only at segment seal
         for rec in records {
             starts[key(rec) + 1] += 1;
         }
         for g in 0..groups {
             starts[g + 1] += starts[g];
         }
-        let mut cursor = starts.clone();
-        let mut offsets = vec![0u32; records.len()];
+        let mut cursor = starts.clone(); // simlint: allow(hot-path-alloc) — runs only at segment seal
+        let mut offsets = vec![0u32; records.len()]; // simlint: allow(hot-path-alloc) — runs only at segment seal
         for (i, rec) in records.iter().enumerate() {
             let k = key(rec);
             offsets[cursor[k] as usize] = i as u32;
@@ -386,7 +386,7 @@ impl RequestLog {
         self.records.push(rec);
         while self.indexes.len() < self.records.sealed().len() {
             let seg = &self.records.sealed()[self.indexes.len()];
-            let index = Arc::new(SegIndex::build(seg));
+            let index = Arc::new(SegIndex::build(seg)); // simlint: allow(hot-path-alloc) — amortized: one index per sealed segment
             Arc::make_mut(&mut self.indexes).push(index);
         }
     }
@@ -584,10 +584,10 @@ struct AccessIndex {
 
 impl AccessIndex {
     fn build(entries: &[AccessLogEntry]) -> AccessIndex {
-        let mut ips: Vec<u32> = entries.iter().map(|e| e.origin.ip).collect();
+        let mut ips: Vec<u32> = entries.iter().map(|e| e.origin.ip).collect(); // simlint: allow(hot-path-alloc) — runs only at segment seal
         ips.sort_unstable();
         ips.dedup();
-        let mut sessions: Vec<u64> = entries.iter().map(|e| e.origin.session).collect();
+        let mut sessions: Vec<u64> = entries.iter().map(|e| e.origin.session).collect(); // simlint: allow(hot-path-alloc) — runs only at segment seal
         sessions.sort_unstable();
         sessions.dedup();
         AccessIndex {
@@ -649,7 +649,7 @@ impl AccessLog {
         self.entries.push(entry);
         while self.indexes.len() < self.entries.sealed().len() {
             let seg = &self.entries.sealed()[self.indexes.len()];
-            let index = Arc::new(AccessIndex::build(seg));
+            let index = Arc::new(AccessIndex::build(seg)); // simlint: allow(hot-path-alloc) — amortized: one index per sealed segment
             Arc::make_mut(&mut self.indexes).push(index);
         }
     }
@@ -800,6 +800,65 @@ impl AccessLog {
                 .entry(e.origin.session)
                 .or_default()
                 .push((base + lo + i, e.at));
+        }
+        by_session
+    }
+
+    /// Full-scan twin of [`AccessLog::for_each_in`]: walks every entry and
+    /// filters by time, ignoring the per-segment indexes. Ground truth for
+    /// differential tests; visit order is identical (submission order).
+    pub fn for_each_naive(&self, from: SimTime, to: SimTime, mut f: impl FnMut(&AccessLogEntry)) {
+        if to <= from {
+            return;
+        }
+        for e in &self.entries {
+            if e.at >= from && e.at < to {
+                f(e);
+            }
+        }
+    }
+
+    /// Full-scan twin of [`AccessLog::count_in`].
+    pub fn count_naive(&self, from: SimTime, to: SimTime) -> usize {
+        let mut n = 0;
+        self.for_each_naive(from, to, |_| n += 1);
+        n
+    }
+
+    /// Full-scan twin of [`AccessLog::per_ip_times_in`]: per-IP insertion
+    /// order matches because both visit entries chronologically.
+    pub fn per_ip_times_naive(
+        &self,
+        from: SimTime,
+        to: SimTime,
+    ) -> std::collections::BTreeMap<u32, Vec<SimTime>> {
+        let mut by_ip: std::collections::BTreeMap<u32, Vec<SimTime>> =
+            std::collections::BTreeMap::new();
+        self.for_each_naive(from, to, |e| {
+            by_ip.entry(e.origin.ip).or_default().push(e.at);
+        });
+        by_ip
+    }
+
+    /// Full-scan twin of [`AccessLog::per_session_in`]: the global offset
+    /// is just the entry's position in the full log.
+    pub fn per_session_naive(
+        &self,
+        from: SimTime,
+        to: SimTime,
+    ) -> std::collections::BTreeMap<u64, Vec<(usize, SimTime)>> {
+        let mut by_session: std::collections::BTreeMap<u64, Vec<(usize, SimTime)>> =
+            std::collections::BTreeMap::new();
+        if to <= from {
+            return by_session;
+        }
+        for (i, e) in self.entries.iter().enumerate() {
+            if e.at >= from && e.at < to {
+                by_session
+                    .entry(e.origin.session)
+                    .or_default()
+                    .push((i, e.at));
+            }
         }
         by_session
     }
@@ -1188,6 +1247,13 @@ mod tests {
         assert_eq!(seen, expect);
         assert_eq!(log.count_in(from, to), expect.len());
 
+        // The built-in full-scan twins agree with both the indexed path and
+        // the shadow vector.
+        let mut naive_seen = Vec::new();
+        log.for_each_naive(from, to, |e| naive_seen.push(*e));
+        assert_eq!(naive_seen, expect);
+        assert_eq!(log.count_naive(from, to), expect.len());
+
         let by_ip = log.per_ip_times_in(from, to);
         for ip in [10u32, 11, 12] {
             let expect_times: Vec<SimTime> = entries
@@ -1198,6 +1264,7 @@ mod tests {
                 .collect();
             assert_eq!(by_ip.get(&ip).cloned().unwrap_or_default(), expect_times);
         }
+        assert_eq!(log.per_ip_times_naive(from, to), by_ip);
 
         let by_session = log.per_session_in(from, to);
         for session in 0u64..4 {
@@ -1213,10 +1280,14 @@ mod tests {
             );
         }
 
+        assert_eq!(log.per_session_naive(from, to), by_session);
+
         // Degenerate windows.
         assert_eq!(log.count_in(to, from), 0);
         assert!(log.per_ip_times_in(to, from).is_empty());
         assert!(log.per_session_in(to, to).is_empty());
+        assert_eq!(log.count_naive(to, from), 0);
+        assert!(log.per_session_naive(to, to).is_empty());
     }
 
     /// Naive reference: full scan with predicate filtering.

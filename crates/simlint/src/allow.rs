@@ -1,0 +1,80 @@
+//! Central handling of `// simlint: allow(<rule>)` directives.
+//!
+//! Scoping is explicit and line-accurate: a directive suppresses matching
+//! findings on its own line and on the immediately following line — nothing
+//! else. Two meta-rules keep the escape hatch honest:
+//!
+//! * `bad-allow` (error): a directive naming a rule id that is not in the
+//!   registry — a typo would otherwise silently suppress nothing while
+//!   looking reviewed;
+//! * `unused-allow` (warning): a directive whose rule never fired on its
+//!   line or the next — stale suppressions accumulate risk and must be
+//!   deleted (or they mark a spot where the rule regressed).
+//!
+//! Neither meta-rule can itself be suppressed with an allow.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::{registry, Diagnostic, SrcFile};
+
+/// Rule id: unknown rule name inside an allow directive.
+pub const BAD_ALLOW: &str = "bad-allow";
+/// Rule id: an allow directive that suppressed nothing.
+pub const UNUSED_ALLOW: &str = "unused-allow";
+
+/// Applies allow directives to `diags`: drops suppressed findings, then
+/// appends `bad-allow` / `unused-allow` meta-findings.
+pub fn apply(files: &[SrcFile], diags: &mut Vec<Diagnostic>) {
+    let by_path: BTreeMap<&str, &SrcFile> = files.iter().map(|f| (f.path.as_str(), f)).collect();
+    let mut used: BTreeSet<(&str, u32, String)> = BTreeSet::new();
+    let mut kept = Vec::with_capacity(diags.len());
+    for d in diags.drain(..) {
+        let Some(file) = by_path.get(d.file.as_str()) else {
+            kept.push(d);
+            continue;
+        };
+        let mut suppressed = false;
+        for l in [d.line, d.line.saturating_sub(1)] {
+            if l == 0 {
+                continue;
+            }
+            if let Some(rules) = file.lexed.allows.get(&l) {
+                if rules.iter().any(|r| r == d.rule) {
+                    used.insert((file.path.as_str(), l, d.rule.to_string()));
+                    suppressed = true;
+                }
+            }
+        }
+        if !suppressed {
+            kept.push(d);
+        }
+    }
+    *diags = kept;
+
+    for f in files {
+        for (&line, rules) in &f.lexed.allows {
+            let unique: BTreeSet<&String> = rules.iter().collect();
+            for rule in unique {
+                if registry::rule(rule).is_none() {
+                    diags.push(Diagnostic::new(
+                        BAD_ALLOW,
+                        &f.path,
+                        line,
+                        format!(
+                            "allow directive names unknown rule `{rule}`; run `simlint --list-rules` for the valid ids"
+                        ),
+                    ));
+                } else if !used.contains(&(f.path.as_str(), line, rule.clone())) {
+                    diags.push(Diagnostic::new(
+                        UNUSED_ALLOW,
+                        &f.path,
+                        line,
+                        format!(
+                            "`allow({rule})` suppresses no `{rule}` finding on this line or the next; delete the stale directive"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}

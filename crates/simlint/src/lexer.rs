@@ -17,6 +17,10 @@ use std::collections::BTreeMap;
 pub struct Token {
     /// 1-based source line the token starts on.
     pub line: u32,
+    /// Byte offset of the token's first byte in the source.
+    pub start: u32,
+    /// Byte offset one past the token's last byte.
+    pub end: u32,
     /// The token's kind and payload.
     pub kind: TokenKind,
 }
@@ -94,13 +98,18 @@ pub fn lex(src: &str) -> Lexed {
     }
 
     while i < bytes.len() {
-        let c = bytes[i] as char;
+        // Decode the real char: a raw `bytes[i] as char` cast would read a
+        // multibyte lead byte as its Latin-1 look-alike and mis-dispatch
+        // (e.g. U+2028's lead byte casts to the alphabetic 'â').
+        let Some(c) = src[i..].chars().next() else {
+            break;
+        };
         match c {
             '\n' => {
                 line += 1;
                 i += 1;
             }
-            c if c.is_whitespace() => i += 1,
+            c if c.is_whitespace() => i += c.len_utf8(),
             '/' if bytes.get(i + 1) == Some(&b'/') => {
                 let end = src[i..].find('\n').map_or(bytes.len(), |o| i + o);
                 scan_allow_directive(&src[i..end], line, &mut out.allows);
@@ -150,7 +159,9 @@ pub fn lex(src: &str) -> Lexed {
                     while j < bytes.len() && bytes[j] != b'\'' {
                         j += 1;
                     }
-                    i = j + 1;
+                    let end = (j + 1).min(bytes.len());
+                    bump_lines!(&src[i..end]);
+                    i = end;
                 } else {
                     // Find the extent of the would-be char/lifetime.
                     let rest = &src[i + 1..];
@@ -165,6 +176,8 @@ pub fn lex(src: &str) -> Lexed {
                     } else if ident_len > 0 {
                         out.tokens.push(Token {
                             line,
+                            start: i as u32,
+                            end: (i + 1 + ident_len) as u32,
                             kind: TokenKind::Lifetime,
                         });
                         i += 1 + ident_len;
@@ -176,7 +189,9 @@ pub fn lex(src: &str) -> Lexed {
                             seen = true;
                             j += 1;
                         }
-                        i = (j + 1).min(bytes.len());
+                        let end = (j + 1).min(bytes.len());
+                        bump_lines!(&src[i..end]);
+                        i = end;
                     }
                 }
             }
@@ -189,6 +204,8 @@ pub fn lex(src: &str) -> Lexed {
                     .map_or(1, |(o, ch)| o + ch.len_utf8());
                 out.tokens.push(Token {
                     line,
+                    start: i as u32,
+                    end: (i + len) as u32,
                     kind: TokenKind::Ident(rest[..len].to_string()),
                 });
                 i += len;
@@ -210,6 +227,8 @@ pub fn lex(src: &str) -> Lexed {
                 }
                 out.tokens.push(Token {
                     line,
+                    start: i as u32,
+                    end: end as u32,
                     kind: TokenKind::Num,
                 });
                 i = end;
@@ -217,6 +236,8 @@ pub fn lex(src: &str) -> Lexed {
             c => {
                 out.tokens.push(Token {
                     line,
+                    start: i as u32,
+                    end: (i + c.len_utf8()) as u32,
                     kind: TokenKind::Punct(c),
                 });
                 i += c.len_utf8();

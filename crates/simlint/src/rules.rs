@@ -193,14 +193,12 @@ fn is_keyword(s: &str) -> bool {
 fn nondet_sources(path: &str, lexed: &Lexed, out: &mut Vec<Diagnostic>) {
     let toks = &lexed.tokens;
     let mut push = |line: u32, what: &str| {
-        if !lexed.is_allowed(NONDET_SOURCE, line) {
-            out.push(Diagnostic::new(
-                NONDET_SOURCE,
-                path,
-                line,
-                format!("{what} is nondeterministic across runs; simulation code must derive all state from the seed and simulated time"),
-            ));
-        }
+        out.push(Diagnostic::new(
+            NONDET_SOURCE,
+            path,
+            line,
+            format!("{what} is nondeterministic across runs; simulation code must derive all state from the seed and simulated time"),
+        ));
     };
     for (i, t) in toks.iter().enumerate() {
         match &t.kind {
@@ -245,14 +243,12 @@ fn unordered_iteration(
 ) {
     let toks = &lexed.tokens;
     let mut push = |line: u32, name: &str, how: &str| {
-        if !lexed.is_allowed(UNORDERED_ITER, line) {
-            out.push(Diagnostic::new(
-                UNORDERED_ITER,
-                path,
-                line,
-                format!("{how} `{name}`, which is a HashMap/HashSet: iteration order is unspecified; use a BTreeMap/BTreeSet or sort before iterating"),
-            ));
-        }
+        out.push(Diagnostic::new(
+            UNORDERED_ITER,
+            path,
+            line,
+            format!("{how} `{name}`, which is a HashMap/HashSet: iteration order is unspecified; use a BTreeMap/BTreeSet or sort before iterating"),
+        ));
     };
     for i in 0..toks.len() {
         let Some(name) = toks[i].ident() else {
@@ -327,7 +323,7 @@ fn float_order(path: &str, lexed: &Lexed, map_vars: &BTreeSet<String>, out: &mut
                     .and_then(Token::ident)
                     .is_some_and(|m| ITER_METHODS.contains(&m))
         });
-        if feeds_from_map && !lexed.is_allowed(FLOAT_ORDER, line) {
+        if feeds_from_map {
             out.push(Diagnostic::new(
                 FLOAT_ORDER,
                 path,
@@ -351,7 +347,17 @@ fn dedupe(out: &mut Vec<Diagnostic>) {
 /// collections for membership checks — harmless, because nothing simulated
 /// depends on their iteration order.
 pub fn strip_cfg_test(toks: Vec<Token>) -> Vec<Token> {
+    split_cfg_test(toks).0
+}
+
+/// Splits a token stream into (non-test tokens, `#[cfg(test)]` tokens).
+///
+/// The test half feeds the `naive-twin` rule's reference scan: an indexed
+/// query's ground-truth twin counts as exercised when its name appears in
+/// any test code, including in-file `#[cfg(test)]` modules.
+pub fn split_cfg_test(toks: Vec<Token>) -> (Vec<Token>, Vec<Token>) {
     let mut out = Vec::with_capacity(toks.len());
+    let mut test = Vec::new();
     let mut i = 0usize;
     while i < toks.len() {
         if is_cfg_test_attr(&toks, i) {
@@ -382,6 +388,7 @@ pub fn strip_cfg_test(toks: Vec<Token>) -> Vec<Token> {
                     }
                     j += 1;
                 }
+                test.extend_from_slice(&toks[i..j]);
                 i = j;
                 continue;
             }
@@ -405,13 +412,14 @@ pub fn strip_cfg_test(toks: Vec<Token>) -> Vec<Token> {
                 }
                 k += 1;
             }
+            test.extend_from_slice(&toks[i..k]);
             i = k;
             continue;
         }
         out.push(toks[i].clone());
         i += 1;
     }
-    out
+    (out, test)
 }
 
 /// `true` when `toks[i..]` starts with exactly `#[cfg(test)]`.

@@ -133,9 +133,6 @@ pub fn check_agents(path: &str, lexed: &crate::lexer::Lexed, out: &mut Vec<Diagn
             // own file still gets checked when that file is linted.
             continue;
         };
-        if lexed.is_allowed(SNAPSHOT_COMPLETE, impl_line) {
-            continue;
-        }
         if derives_of(toks, &name).iter().any(|d| d == "Clone") {
             continue; // derived Clone is complete by construction
         }
@@ -190,9 +187,27 @@ fn agent_impls(toks: &[Token]) -> Vec<(String, u32)> {
     found
 }
 
+/// One parsed struct field.
+#[derive(Debug, Clone)]
+pub struct Field {
+    /// The field's name.
+    pub name: String,
+    /// 1-based line of the field's name.
+    pub line: u32,
+    /// `true` when the field's type mentions `Arc` — i.e. the field is (or
+    /// contains) a shared copy-on-write spine.
+    pub arc: bool,
+}
+
 /// Parses the named struct's fields: `(name, line)` per field. Returns
 /// `None` when the struct is absent or has no brace-delimited field list.
 pub fn struct_fields(toks: &[Token], name: &str) -> Option<Vec<(String, u32)>> {
+    struct_fields_ex(toks, name)
+        .map(|fields| fields.into_iter().map(|f| (f.name, f.line)).collect())
+}
+
+/// Parses the named struct's fields with type information (see [`Field`]).
+pub fn struct_fields_ex(toks: &[Token], name: &str) -> Option<Vec<Field>> {
     let mut i = 0usize;
     {
         // Find `struct <name>`.
@@ -234,8 +249,8 @@ pub fn struct_fields(toks: &[Token], name: &str) -> Option<Vec<(String, u32)>> {
 }
 
 /// Parses a brace-delimited field list starting at the `{` index.
-fn parse_field_list(toks: &[Token], open: usize) -> Vec<(String, u32)> {
-    let mut fields = Vec::new();
+fn parse_field_list(toks: &[Token], open: usize) -> Vec<Field> {
+    let mut fields: Vec<Field> = Vec::new();
     let mut i = open + 1;
     let mut depth = 1i32; // brace depth relative to the struct body
     let mut expecting_field = true;
@@ -285,8 +300,17 @@ fn parse_field_list(toks: &[Token], open: usize) -> Vec<(String, u32)> {
                 if toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
                     && !toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
                 {
-                    fields.push((id.clone(), t.line));
+                    fields.push(Field {
+                        name: id.clone(),
+                        line: t.line,
+                        arc: false,
+                    });
                     expecting_field = false;
+                }
+            }
+            crate::lexer::TokenKind::Ident(id) if depth == 1 && !expecting_field && id == "Arc" => {
+                if let Some(last) = fields.last_mut() {
+                    last.arc = true;
                 }
             }
             _ => {}

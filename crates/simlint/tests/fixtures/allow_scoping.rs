@@ -1,0 +1,31 @@
+//! Fixture: line-accurate `allow` scoping. A directive suppresses matching
+//! findings on its own line and on the immediately following line — nothing
+//! further. Unknown rule names are `bad-allow` errors; directives that
+//! suppress nothing are `unused-allow` warnings. Not compiled — lexed and
+//! linted by `tests/golden.rs`.
+
+fn same_line_allow() {
+    let t0 = std::time::Instant::now(); // simlint: allow(nondet-source)
+    let _ = t0;
+}
+
+fn next_line_allow() {
+    // Harness-side timing echo only. simlint: allow(nondet-source)
+    let t0 = std::time::Instant::now();
+    let _ = t0;
+}
+
+fn allow_two_lines_up_reaches_nothing() {
+    // simlint: allow(nondet-source)
+    let _gap = 0;
+    let t0 = std::time::Instant::now();
+    let _ = t0;
+}
+
+fn unknown_rule_name() {
+    let _x = 0; // simlint: allow(nondeterminism-source)
+}
+
+fn stale_known_rule() {
+    let _n = 42; // simlint: allow(unordered-iter)
+}

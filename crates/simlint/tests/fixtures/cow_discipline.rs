@@ -1,0 +1,45 @@
+//! Fixture: `cow-discipline` hazards — mutations of a shared copy-on-write
+//! spine that sidestep `Arc::make_mut`. The struct name `SegLog` is in
+//! simlint's registered COW type list, and `sealed` is its `Arc`-typed
+//! spine field. Not compiled — lexed and linted by `tests/golden.rs`.
+
+use std::sync::Arc;
+
+struct SegLog {
+    sealed: Arc<Vec<Arc<Vec<u64>>>>,
+    tail: Vec<u64>,
+}
+
+impl SegLog {
+    fn disciplined_push(&mut self, seg: Vec<u64>) {
+        // The one legal in-place mutation: copy-on-write via `make_mut`.
+        Arc::make_mut(&mut self.sealed).push(Arc::new(seg));
+    }
+
+    fn direct_push(&mut self, seg: Vec<u64>) {
+        self.sealed.push(Arc::new(seg));
+    }
+
+    fn index_assign(&mut self, seg: Arc<Vec<u64>>) {
+        self.sealed[0] = seg;
+    }
+
+    fn get_mut_sidesteps_the_copy(&mut self) {
+        Arc::get_mut(&mut self.sealed).unwrap().pop();
+    }
+
+    fn raw_mut_borrow(&mut self) {
+        let spine = &mut self.sealed;
+        spine.clear();
+    }
+
+    fn whole_field_replace(&mut self) {
+        // Replacing the whole spine is COW-safe: forks keep the old Arc.
+        self.sealed = Arc::new(Vec::new());
+        self.tail.clear();
+    }
+
+    fn tail_is_not_a_spine(&mut self, item: u64) {
+        self.tail.push(item);
+    }
+}

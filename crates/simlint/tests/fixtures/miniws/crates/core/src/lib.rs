@@ -1,0 +1,11 @@
+//! Mini-workspace source with one deliberate determinism hazard; the CLI
+//! tests assert simlint finds it, exits nonzero, and that a baseline file
+//! built from simlint's own text output suppresses it.
+
+pub fn deterministic_and_fine(x: u64) -> u64 {
+    x.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+}
+
+pub fn wall_clock_read() -> u128 {
+    std::time::Instant::now().elapsed().as_nanos()
+}

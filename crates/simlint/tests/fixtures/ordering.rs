@@ -1,0 +1,15 @@
+//! Fixture: deterministic diagnostic ordering. Findings are reported
+//! sorted by (path, line, rule) no matter which rule pass emitted them
+//! first — on line 10 below, `float-order` sorts before `unordered-iter`
+//! even though the iteration scan runs earlier. Not compiled — lexed and
+//! linted by `tests/golden.rs`.
+
+use std::collections::HashMap;
+
+fn two_rules_one_line(weights: &HashMap<u32, f64>) -> f64 {
+    weights.values().sum::<f64>()
+}
+
+fn later_line_sorts_after() {
+    let _t0 = std::time::Instant::now();
+}

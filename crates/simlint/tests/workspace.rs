@@ -1,6 +1,9 @@
 //! The workspace self-check — the tree this crate lives in must lint clean —
-//! plus mutation tests proving the snapshot-completeness rule bites: delete
-//! one field-clone line from a real snapshot path and the rule must fail.
+//! plus mutation tests proving every workspace-level rule bites on the
+//! *real* tree: delete one field-clone line and `snapshot-complete` fails;
+//! strip an `Arc::make_mut` and `cow-discipline` fails; inject an
+//! allocation into a hot function and `hot-path-alloc` fails; rename a
+//! `_naive` twin away and `naive-twin` fails.
 
 use std::fs;
 use std::path::PathBuf;
@@ -21,6 +24,101 @@ fn workspace_is_clean() {
             .map(ToString::to_string)
             .collect::<Vec<_>>()
             .join("\n")
+    );
+}
+
+/// Lints the real workspace with one file's text rewritten by `patch`,
+/// returning the rendered diagnostics. The patch must change the text —
+/// a no-op means the mutation site moved and the test is stale.
+fn lint_with_patched_file(path: &str, patch: impl Fn(&str) -> String) -> Vec<String> {
+    let (mut sources, test_sources) = simlint::Model::load_sources(&workspace_root()).unwrap();
+    let entry = sources
+        .iter_mut()
+        .find(|(p, _)| p == path)
+        .unwrap_or_else(|| panic!("{path} not in the scanned workspace"));
+    let patched = patch(&entry.1);
+    assert_ne!(patched, entry.1, "patch for {path} matched nothing");
+    entry.1 = patched;
+    let model = simlint::Model::from_sources(&sources, &test_sources);
+    simlint::lint_model(&model)
+        .iter()
+        .map(ToString::to_string)
+        .collect()
+}
+
+#[test]
+fn stripping_make_mut_from_a_spine_mutation_is_caught() {
+    let diags = lint_with_patched_file("crates/microsim/src/seglog.rs", |src| {
+        src.replace(
+            "Arc::make_mut(&mut self.sealed).push(Arc::new(seg));",
+            "self.sealed.push(Arc::new(seg));",
+        )
+    });
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.contains("[cow-discipline]") && d.contains("sealed")),
+        "expected a cow-discipline finding for the undisciplined push, got: {diags:?}"
+    );
+}
+
+#[test]
+fn get_mut_on_a_spine_is_caught() {
+    let diags = lint_with_patched_file("crates/simnet/src/stats.rs", |src| {
+        src.replace(
+            "std::sync::Arc::make_mut(&mut self.sealed).push(seg);",
+            "std::sync::Arc::get_mut(&mut self.sealed).unwrap().push(seg);",
+        )
+    });
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.contains("[cow-discipline]") && d.contains("get_mut")),
+        "expected a cow-discipline finding for the get_mut sidestep, got: {diags:?}"
+    );
+}
+
+#[test]
+fn injecting_an_allocation_into_a_hot_function_is_caught() {
+    let diags = lint_with_patched_file("crates/microsim/src/kernel.rs", |src| {
+        src.replace(
+            "fn reroute_drained_waiters(&mut self, sidx: usize) -> usize {",
+            "fn reroute_drained_waiters(&mut self, sidx: usize) -> usize {\n        let scratch: Vec<u8> = Vec::with_capacity(64);\n        drop(scratch);",
+        )
+    });
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.contains("[hot-path-alloc]") && d.contains("Vec::with_capacity")),
+        "expected a hot-path-alloc finding for the injected allocation, got: {diags:?}"
+    );
+}
+
+#[test]
+fn renaming_a_naive_twin_away_is_caught() {
+    let diags = lint_with_patched_file("crates/telemetry/src/latency.rs", |src| {
+        src.replace("pub fn compute_naive(", "pub fn compute_reference(")
+    });
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.contains("[naive-twin]") && d.contains("compute_naive")),
+        "expected a naive-twin finding for the missing twin, got: {diags:?}"
+    );
+}
+
+#[test]
+fn renaming_a_hot_entry_point_is_itself_a_finding() {
+    // Config drift must not silently hollow the rule out: when a seeded
+    // entry point no longer resolves, simlint says so instead of passing.
+    let diags = lint_with_patched_file("crates/microsim/src/kernel.rs", |src| {
+        src.replace("pub(crate) fn pump(", "pub(crate) fn pump_events(")
+    });
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.contains("[hot-path-alloc]") && d.contains("Kernel::pump")),
+        "expected a seed-drift finding for Kernel::pump, got: {diags:?}"
     );
 }
 

@@ -410,10 +410,10 @@ impl SegSamples {
     }
 
     fn seal_tail(&mut self) {
-        let data = std::mem::replace(&mut self.tail, Vec::with_capacity(self.seg_cap));
-        let mut sorted = data.clone();
+        let data = std::mem::replace(&mut self.tail, Vec::with_capacity(self.seg_cap)); // simlint: allow(hot-path-alloc) — amortized: one seal per seg_cap pushes
+        let mut sorted = data.clone(); // simlint: allow(hot-path-alloc) — amortized: one sort copy per seal
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
-        let seg = std::sync::Arc::new(SampleSeg { data, sorted });
+        let seg = std::sync::Arc::new(SampleSeg { data, sorted }); // simlint: allow(hot-path-alloc) — amortized: one seal per seg_cap pushes
         std::sync::Arc::make_mut(&mut self.sealed).push(seg);
         self.tail_sorted.clear();
         self.tail_dirty = false;
@@ -572,7 +572,7 @@ impl SegSamples {
     pub fn clear(&mut self) {
         // Fresh spine rather than `make_mut` + clear: forks sharing the old
         // spine keep it untouched.
-        self.sealed = std::sync::Arc::new(Vec::new());
+        self.sealed = std::sync::Arc::new(Vec::new()); // simlint: allow(hot-path-alloc) — reset path, not the per-sample path
         self.tail.clear();
         self.tail_sorted.clear();
         self.tail_dirty = false;
@@ -662,7 +662,7 @@ impl<T> SegStore<T> {
     pub fn push(&mut self, item: T) {
         self.tail.push(item);
         if self.tail.len() == self.seg_cap {
-            let seg = std::mem::replace(&mut self.tail, Vec::with_capacity(self.seg_cap));
+            let seg = std::mem::replace(&mut self.tail, Vec::with_capacity(self.seg_cap)); // simlint: allow(hot-path-alloc) — amortized: one seal per seg_cap pushes
             std::sync::Arc::make_mut(&mut self.sealed).push(std::sync::Arc::new(seg));
         }
     }
@@ -696,7 +696,7 @@ impl<T> SegStore<T> {
     pub fn clear(&mut self) {
         // Fresh spine rather than `make_mut` + clear: forks sharing the old
         // spine keep it untouched.
-        self.sealed = std::sync::Arc::new(Vec::new());
+        self.sealed = std::sync::Arc::new(Vec::new()); // simlint: allow(hot-path-alloc) — reset path, not the per-item path
         self.tail.clear();
     }
 }

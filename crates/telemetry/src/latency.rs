@@ -199,6 +199,42 @@ impl LatencySeries {
         LatencySeries { window, points }
     }
 
+    /// Reference implementation of [`LatencySeries::compute`]: a full scan
+    /// of the request log with predicate filtering. Kept public as the
+    /// ground truth for differential tests; bucket accumulation order is
+    /// identical (completion order), so every mean is bit-identical.
+    pub fn compute_naive(
+        metrics: &Metrics,
+        traffic: Traffic,
+        window: SimDuration,
+        horizon: SimTime,
+    ) -> Self {
+        assert!(!window.is_zero(), "window must be positive");
+        let n = (horizon.as_micros() / window.as_micros()) as usize + 1;
+        let mut sums = vec![0.0f64; n];
+        let mut counts = vec![0usize; n];
+        for rec in metrics.request_log() {
+            if rec.completed_at >= horizon || !traffic.matches(rec) {
+                continue;
+            }
+            let idx = (rec.completed_at.as_micros() / window.as_micros()) as usize;
+            sums[idx] += rec.latency().as_millis_f64();
+            counts[idx] += 1;
+        }
+        let points = (0..n)
+            .map(|i| {
+                let start = SimTime::from_micros(i as u64 * window.as_micros());
+                let mean = if counts[i] > 0 {
+                    sums[i] / counts[i] as f64
+                } else {
+                    0.0
+                };
+                (start, mean, counts[i])
+            })
+            .collect();
+        LatencySeries { window, points }
+    }
+
     /// The window length.
     pub fn window(&self) -> SimDuration {
         self.window

@@ -166,4 +166,29 @@ proptest! {
         let naive = LatencySummary::compute_naive(&m, traffic, request_type, from, to);
         prop_assert_eq!(fast, naive);
     }
+
+    /// Differential: the indexed [`LatencySeries::compute`] produces
+    /// bit-identical points (exact float equality) to the naive full-scan
+    /// reference, for every traffic class, window size, and horizon.
+    #[test]
+    fn indexed_series_matches_naive(
+        rate in 5u64..120,
+        attack_rate in 0u64..40,
+        seed in any::<u64>(),
+        traffic_sel in 0u8..3,
+        window_ms in 1u64..3_000,
+        horizon_ms in 0u64..12_000,
+    ) {
+        let m = run_mixed_sim(rate, attack_rate, 6, seed);
+        let traffic = match traffic_sel {
+            0 => Traffic::All,
+            1 => Traffic::Legit,
+            _ => Traffic::Attack,
+        };
+        let window = SimDuration::from_millis(window_ms);
+        let horizon = SimTime::from_millis(horizon_ms);
+        let fast = LatencySeries::compute(&m, traffic, window, horizon);
+        let naive = LatencySeries::compute_naive(&m, traffic, window, horizon);
+        prop_assert_eq!(fast.points(), naive.points());
+    }
 }
