@@ -65,6 +65,7 @@ fn estimators(c: &mut Criterion) {
             for t in 0..400u64 {
                 obs.record(&Response {
                     token: t,
+                    tag: 0,
                     request_type: RequestTypeId::new(0),
                     submitted_at: SimTime::from_millis(t),
                     completed_at: SimTime::from_millis(t + 80 + (t % 37)),

@@ -110,6 +110,7 @@ mod tests {
 
     fn resp(token: u64, sent_ms: u64, done_ms: u64) -> Response {
         Response {
+            tag: 0,
             token,
             request_type: RequestTypeId::new(0),
             submitted_at: SimTime::from_millis(sent_ms),

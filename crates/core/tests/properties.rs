@@ -63,6 +63,7 @@ proptest! {
             ends.push(completed);
             obs.record(&Response {
                 token: i as u64,
+                tag: 0,
                 request_type: RequestTypeId::new(0),
                 submitted_at: submitted,
                 completed_at: completed,

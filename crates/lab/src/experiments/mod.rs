@@ -8,6 +8,7 @@ pub mod fig13;
 pub mod fig14;
 pub mod fig15;
 pub mod fig16;
+pub mod megacell;
 pub mod mitigation;
 pub mod model_check;
 pub mod table1;
@@ -27,6 +28,7 @@ pub const ALL: &[&str] = &[
     "fig15",
     "fig16",
     "table4",
+    "megacell",
     "ablations",
     "mitigation",
 ];
@@ -74,6 +76,7 @@ pub fn run_with(name: &str, opts: RunOpts) -> Report {
         "fig15" => fig15::run(fidelity),
         "fig16" => fig16::run(fidelity),
         "table4" => table4::run_opts(opts),
+        "megacell" => megacell::run(fidelity),
         "ablations" => ablations::run_opts(opts),
         "mitigation" => mitigation::run_opts(opts),
         "model_check" => model_check::run(fidelity),

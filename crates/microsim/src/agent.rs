@@ -112,7 +112,19 @@ impl<'a> SimCtx<'a> {
     ///
     /// Panics if `request_type` does not exist in the application.
     pub fn submit(&mut self, request_type: RequestTypeId, origin: Origin) -> u64 {
-        self.kernel.submit(self.agent, request_type, origin)
+        self.kernel.submit(self.agent, request_type, origin, 0)
+    }
+
+    /// Like [`submit`](Self::submit), but attaches a caller-chosen `tag`
+    /// that the eventual [`Response`] echoes back verbatim.
+    ///
+    /// This is the O(1) correlation path for large populations: encode the
+    /// submitting user's slab slot in the tag and response dispatch becomes
+    /// a direct array index — no token map, no hashing, no allocation. The
+    /// tag is client-side bookkeeping only; the platform ignores it (it
+    /// never reaches the access log or the IDS).
+    pub fn submit_tagged(&mut self, request_type: RequestTypeId, origin: Origin, tag: u64) -> u64 {
+        self.kernel.submit(self.agent, request_type, origin, tag)
     }
 
     /// Schedules [`Agent::on_wake`] to fire after `delay` with `token`.

@@ -60,6 +60,11 @@ impl Origin {
 pub struct Response {
     /// The token returned by `SimCtx::submit` for this request.
     pub token: u64,
+    /// The caller-chosen correlation tag passed to `SimCtx::submit_tagged`
+    /// (`0` for plain `submit`). Large populations encode the submitting
+    /// user's slab slot here so response dispatch is an O(1) array index
+    /// instead of a token hash lookup.
+    pub tag: u64,
     /// The request type that was submitted.
     pub request_type: RequestTypeId,
     /// Submission time (client-side send timestamp).
@@ -103,6 +108,8 @@ pub(crate) struct Job {
     pub agent: AgentId,
     /// Token the agent can correlate on.
     pub token: u64,
+    /// Caller-chosen tag echoed back on the [`Response`].
+    pub tag: u64,
     pub request_type: RequestTypeId,
     pub origin: Origin,
     pub submitted_at: SimTime,
@@ -133,6 +140,7 @@ mod tests {
     fn response_latency_ms() {
         let r = Response {
             token: 0,
+            tag: 0,
             request_type: RequestTypeId::new(0),
             submitted_at: SimTime::from_millis(10),
             completed_at: SimTime::from_millis(135),

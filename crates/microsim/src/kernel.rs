@@ -200,6 +200,7 @@ impl Kernel {
         agent: AgentId,
         request_type: RequestTypeId,
         origin: Origin,
+        tag: u64,
     ) -> u64 {
         assert!(
             request_type.index() < self.paths.len(),
@@ -231,6 +232,7 @@ impl Kernel {
         let job = Job {
             agent,
             token,
+            tag,
             request_type,
             origin,
             submitted_at: self.now,
@@ -504,6 +506,7 @@ impl Kernel {
             j.agent,
             Response {
                 token: j.token,
+                tag: j.tag,
                 request_type: j.request_type,
                 submitted_at: j.submitted_at,
                 completed_at: self.now,

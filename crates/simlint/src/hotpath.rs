@@ -41,7 +41,7 @@ pub struct Seed {
 /// (the paper's per-request steady state) and `Kernel::submit` the client
 /// admission path; the queue and the segmented stores are the data
 /// structures they hammer per event.
-pub const HOT_SEEDS: [Seed; 6] = [
+pub const HOT_SEEDS: [Seed; 10] = [
     Seed {
         type_name: "Kernel",
         fn_name: "pump",
@@ -71,6 +71,29 @@ pub const HOT_SEEDS: [Seed; 6] = [
         type_name: "SegSamples",
         fn_name: "push",
         anchor_file: "crates/simnet/src/stats.rs",
+    },
+    // The flat-arena population's per-event entry points: every response
+    // and every think-bucket wakeup of a 100k-user cell runs through
+    // these, so a stray allocation here is paid O(requests) per run.
+    Seed {
+        type_name: "ThinkArena",
+        fn_name: "schedule",
+        anchor_file: "crates/workload/src/arena.rs",
+    },
+    Seed {
+        type_name: "ThinkArena",
+        fn_name: "drain_into",
+        anchor_file: "crates/workload/src/arena.rs",
+    },
+    Seed {
+        type_name: "ClosedLoopUsers",
+        fn_name: "on_response",
+        anchor_file: "crates/workload/src/users.rs",
+    },
+    Seed {
+        type_name: "ClosedLoopUsers",
+        fn_name: "on_wake",
+        anchor_file: "crates/workload/src/users.rs",
     },
 ];
 

@@ -35,7 +35,7 @@ pub struct SnapshotTarget<'a> {
 }
 
 /// The workspace's tracked snapshot structs.
-pub const TARGETS: [SnapshotTarget<'static>; 5] = [
+pub const TARGETS: [SnapshotTarget<'static>; 7] = [
     SnapshotTarget {
         struct_name: "Kernel",
         struct_file: "crates/microsim/src/kernel.rs",
@@ -67,6 +67,21 @@ pub const TARGETS: [SnapshotTarget<'static>; 5] = [
         struct_name: "SegStore",
         struct_file: "crates/simnet/src/stats.rs",
         clone_file: "crates/simnet/src/stats.rs",
+    },
+    // The flat-arena population's live state: the think-timer arena and
+    // the population itself fork through manual per-field clones (the
+    // population shares its browsing model by Arc and its sample store by
+    // COW). A field missed by either impl would silently reset — or worse,
+    // alias — on every fork of a 100k-user cell.
+    SnapshotTarget {
+        struct_name: "ThinkArena",
+        struct_file: "crates/workload/src/arena.rs",
+        clone_file: "crates/workload/src/arena.rs",
+    },
+    SnapshotTarget {
+        struct_name: "ClosedLoopUsers",
+        struct_file: "crates/workload/src/users.rs",
+        clone_file: "crates/workload/src/users.rs",
     },
 ];
 

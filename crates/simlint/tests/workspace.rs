@@ -200,3 +200,77 @@ fn deleting_a_seg_store_field_clone_line_is_caught() {
         "expected a snapshot-complete finding for `seg_cap`, got: {diags:?}"
     );
 }
+
+#[test]
+fn deleting_a_think_arena_field_clone_line_is_caught() {
+    let diags = check_with_deleted_line("ThinkArena", "overflow: self.overflow.clone()");
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.contains("[snapshot-complete]") && d.contains("`overflow`")),
+        "expected a snapshot-complete finding for `overflow`, got: {diags:?}"
+    );
+}
+
+#[test]
+fn deleting_a_population_field_clone_line_is_caught() {
+    let diags = check_with_deleted_line("ClosedLoopUsers", "arena: self.arena.clone()");
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.contains("[snapshot-complete]") && d.contains("`arena`")),
+        "expected a snapshot-complete finding for `arena`, got: {diags:?}"
+    );
+}
+
+#[test]
+fn injecting_an_allocation_into_the_timer_arena_is_caught() {
+    // ThinkArena::schedule is reachable only through the population seeds;
+    // this proves the new HOT_SEEDS entries actually extend the hot set.
+    let diags = lint_with_patched_file("crates/workload/src/arena.rs", |src| {
+        src.replace(
+            "pub fn schedule(&mut self, now: SimTime, slot: u32, tick: u64) -> bool {",
+            "pub fn schedule(&mut self, now: SimTime, slot: u32, tick: u64) -> bool {\n        let scratch: Vec<u8> = Vec::with_capacity(64);\n        drop(scratch);",
+        )
+    });
+    assert!(
+        diags.iter().any(|d| d.contains("[hot-path-alloc]")
+            && d.contains("Vec::with_capacity")
+            && d.contains("arena.rs")),
+        "expected a hot-path-alloc finding in the timer arena, got: {diags:?}"
+    );
+}
+
+#[test]
+fn injecting_an_allocation_into_the_population_wake_path_is_caught() {
+    let diags = lint_with_patched_file("crates/workload/src/users.rs", |src| {
+        src.replace(
+            "fn fire_slot(&mut self, ctx: &mut SimCtx<'_>, slot: u32) {",
+            "fn fire_slot(&mut self, ctx: &mut SimCtx<'_>, slot: u32) {\n        let label = format!(\"slot {slot}\");\n        drop(label);",
+        )
+    });
+    assert!(
+        diags.iter().any(|d| d.contains("[hot-path-alloc]")
+            && d.contains("`format!`")
+            && d.contains("users.rs")),
+        "expected a hot-path-alloc finding on the wake path, got: {diags:?}"
+    );
+}
+
+#[test]
+fn get_mut_on_the_population_model_spine_is_caught() {
+    // ClosedLoopUsers joins the COW registry through its Arc-typed `model`
+    // field (snapshot TARGETS with Arc fields are auto-registered).
+    let diags = lint_with_patched_file("crates/workload/src/users.rs", |src| {
+        src.replace(
+            "fn fire_slot(&mut self, ctx: &mut SimCtx<'_>, slot: u32) {",
+            "fn fire_slot(&mut self, ctx: &mut SimCtx<'_>, slot: u32) {\n        let _ = std::sync::Arc::get_mut(&mut self.model);",
+        )
+    });
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.contains("[cow-discipline]") && d.contains("model")),
+        "expected a cow-discipline finding for the model spine, got: {diags:?}"
+    );
+}

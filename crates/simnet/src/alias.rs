@@ -1,0 +1,232 @@
+//! Walker/Vose alias tables: O(1) draws from a fixed discrete distribution.
+//!
+//! [`RngStream::weighted_choice`](crate::RngStream::weighted_choice) walks
+//! the weight slice linearly on every draw — fine for one-off choices, an
+//! O(n) tax per transition once a 100k-user population samples a Markov row
+//! on every completed request. An [`AliasTable`] front-loads that cost:
+//! O(n) construction, then every draw is one uniform, one multiply and at
+//! most two array reads.
+//!
+//! Determinism: the table is a pure function of the weights, and
+//! [`AliasTable::sample`] is a pure function of the table and one uniform
+//! draw in `[0, 1)`. A batched consumer that prefetches uniforms and maps
+//! them through `sample` therefore sees exactly the same outcomes as a
+//! per-call consumer of the same stream — the property the closed-loop
+//! population's differential tests pin.
+//!
+//! Note the *mapping* from a uniform to an outcome differs from
+//! `weighted_choice`'s inverse-CDF scan (both are exact samplers of the
+//! same distribution, but for one concrete `u` they may pick different
+//! indices), so switching a component from `weighted_choice` to an alias
+//! table is a documented RNG-stream layout change, not a drop-in.
+
+use crate::rng::RngStream;
+
+/// A precomputed alias table over `n` weighted outcomes.
+///
+/// # Example
+///
+/// ```
+/// use simnet::{AliasTable, RngStream};
+///
+/// let table = AliasTable::new(&[1.0, 2.0, 1.0]);
+/// let mut rng = RngStream::from_label(7, "demo");
+/// let k = table.sample_with(&mut rng);
+/// assert!(k < 3);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct AliasTable {
+    /// Acceptance probability of bucket `i` (draw stays at `i`).
+    prob: Vec<f64>,
+    /// Fallback outcome of bucket `i` (draw moves to `alias[i]`).
+    alias: Vec<u32>,
+}
+
+impl AliasTable {
+    /// Builds the table from non-negative weights (Vose's stable variant).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty, contains a negative or non-finite
+    /// weight, or sums to zero.
+    pub fn new(weights: &[f64]) -> Self {
+        let n = weights.len();
+        assert!(n > 0, "alias table needs at least one outcome");
+        assert!(
+            weights.iter().all(|w| w.is_finite() && *w >= 0.0),
+            "alias weights must be finite and non-negative"
+        );
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "alias weights must sum to a positive value");
+
+        // Scale every weight so the average bucket holds probability 1.
+        let scale = n as f64 / total;
+        let mut prob: Vec<f64> = weights.iter().map(|w| w * scale).collect();
+        let mut alias: Vec<u32> = (0..n as u32).collect();
+
+        // Vose's two-worklist construction. Indices are processed in
+        // ascending order within each list, so the table is a deterministic
+        // function of the weights.
+        let mut small: Vec<u32> = Vec::new();
+        let mut large: Vec<u32> = Vec::new();
+        for (i, p) in prob.iter().enumerate() {
+            if *p < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
+        }
+        // Pop from the back; the lists were filled in ascending index
+        // order, so this pairing is reproducible across platforms.
+        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+            small.pop();
+            alias[s as usize] = l;
+            // Donate the slack of bucket `s` from bucket `l`.
+            prob[l as usize] = (prob[l as usize] + prob[s as usize]) - 1.0;
+            if prob[l as usize] < 1.0 {
+                large.pop();
+                small.push(l);
+            }
+        }
+        // Float residue: whatever is left saturates to probability 1.
+        for &i in small.iter().chain(large.iter()) {
+            prob[i as usize] = 1.0;
+        }
+        AliasTable { prob, alias }
+    }
+
+    /// Number of outcomes.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// `true` when the table has no outcomes (never: `new` rejects that).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Maps one uniform draw `u` in `[0, 1)` to an outcome index.
+    ///
+    /// Pure: equal `u` always yields the same outcome, so batched and
+    /// per-call consumers of the same uniform stream agree bit-for-bit.
+    #[inline]
+    pub fn sample(&self, u: f64) -> usize {
+        let n = self.prob.len();
+        let v = u * n as f64;
+        // `u < 1.0` keeps `k < n` except for float round-up at the edge.
+        let k = (v as usize).min(n - 1);
+        let frac = v - k as f64;
+        if frac < self.prob[k] {
+            k
+        } else {
+            self.alias[k] as usize
+        }
+    }
+
+    /// Draws an outcome using one uniform from `rng`.
+    ///
+    /// Consumes exactly one `unit()` draw, in the same position a
+    /// `weighted_choice` call would have consumed it.
+    #[inline]
+    pub fn sample_with(&self, rng: &mut RngStream) -> usize {
+        self.sample(rng.unit())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_is_deterministic() {
+        let a = AliasTable::new(&[0.5, 3.0, 1.5, 0.0, 2.0]);
+        let b = AliasTable::new(&[0.5, 3.0, 1.5, 0.0, 2.0]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn single_outcome_always_wins() {
+        let t = AliasTable::new(&[4.2]);
+        for u in [0.0, 0.25, 0.5, 0.999_999] {
+            assert_eq!(t.sample(u), 0);
+        }
+    }
+
+    #[test]
+    fn zero_weight_outcomes_are_never_drawn() {
+        let t = AliasTable::new(&[1.0, 0.0, 2.0, 0.0]);
+        let mut rng = RngStream::from_label(3, "alias/zero");
+        for _ in 0..20_000 {
+            let k = t.sample_with(&mut rng);
+            assert!(k == 0 || k == 2, "drew zero-weight outcome {k}");
+        }
+    }
+
+    #[test]
+    fn sampled_frequencies_match_weights() {
+        let weights = [1.0, 2.0, 4.0, 1.0];
+        let t = AliasTable::new(&weights);
+        let mut rng = RngStream::from_label(5, "alias/freq");
+        let mut counts = [0u32; 4];
+        let n = 80_000;
+        for _ in 0..n {
+            counts[t.sample_with(&mut rng)] += 1;
+        }
+        let total: f64 = weights.iter().sum();
+        for (i, w) in weights.iter().enumerate() {
+            let expect = w / total;
+            let got = f64::from(counts[i]) / f64::from(n);
+            assert!(
+                (got - expect).abs() < 0.01,
+                "outcome {i}: got {got}, expected {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn agrees_with_weighted_choice_distribution() {
+        // Not the same u -> index mapping, but the same distribution: the
+        // two samplers' empirical frequencies must converge on each other.
+        let weights = [0.3, 0.0, 5.0, 1.7, 2.0];
+        let t = AliasTable::new(&weights);
+        let mut ra = RngStream::from_label(9, "alias/vs");
+        let mut rw = RngStream::from_label(9, "alias/vs");
+        let n = 60_000;
+        let mut ca = [0i64; 5];
+        let mut cw = [0i64; 5];
+        for _ in 0..n {
+            ca[t.sample_with(&mut ra)] += 1;
+            cw[rw.weighted_choice(&weights)] += 1;
+        }
+        for i in 0..weights.len() {
+            let diff = (ca[i] - cw[i]).abs() as f64 / f64::from(n);
+            assert!(diff < 0.01, "outcome {i} diverged by {diff}");
+        }
+    }
+
+    #[test]
+    fn edge_uniforms_stay_in_range() {
+        let t = AliasTable::new(&[1.0, 1.0, 1.0]);
+        assert!(t.sample(0.0) < 3);
+        // f64 just below 1.0.
+        assert!(t.sample(1.0 - f64::EPSILON) < 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one outcome")]
+    fn empty_weights_rejected() {
+        AliasTable::new(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to a positive value")]
+    fn all_zero_weights_rejected() {
+        AliasTable::new(&[0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn negative_weights_rejected() {
+        AliasTable::new(&[1.0, -0.5]);
+    }
+}

@@ -30,12 +30,14 @@
 //! assert_eq!((t, ev), (SimTime::ZERO, "a"));
 //! ```
 
+pub mod alias;
 pub mod event;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
+pub use alias::AliasTable;
 pub use event::{EventQueue, HeapEventQueue};
-pub use rng::{derive_seed, lognormal_mean_cv_from_z, RngStream};
+pub use rng::{derive_seed, exp_from_unit, lognormal_mean_cv_from_z, RngStream};
 pub use stats::{Histogram, SampleSet, SegSamples, SegStore, Welford, SAMPLE_SEG_CAP};
 pub use time::{SimDuration, SimTime};

@@ -81,6 +81,18 @@ impl RngStream {
         self.inner.gen::<f64>()
     }
 
+    /// Fills `buf` with uniform draws in `[0, 1)`.
+    ///
+    /// Draws exactly `buf.len()` uniforms in the same order as `buf.len()`
+    /// calls to [`unit`](Self::unit), so batched and per-call consumers of
+    /// the same stream see bit-identical sequences (the closed-loop user
+    /// population prefetches its think/transition uniforms this way).
+    pub fn fill_unit(&mut self, buf: &mut [f64]) {
+        for u in buf.iter_mut() {
+            *u = self.inner.gen::<f64>();
+        }
+    }
+
     /// A uniform draw in `[lo, hi)`.
     ///
     /// # Panics
@@ -109,10 +121,7 @@ impl RngStream {
         if mean <= 0.0 {
             return 0.0;
         }
-        // Inverse-transform sampling; clamp the uniform away from 0 so ln is
-        // finite.
-        let u = self.unit().max(1e-12);
-        -mean * u.ln()
+        exp_from_unit(mean, self.unit())
     }
 
     /// A draw from a (location-scale) lognormal specified by the mean and
@@ -156,17 +165,36 @@ impl RngStream {
     ///
     /// Panics if `weights` is empty or sums to zero or less.
     pub fn weighted_choice(&mut self, weights: &[f64]) -> usize {
-        assert!(!weights.is_empty(), "weighted_choice needs weights");
-        let total: f64 = weights.iter().sum();
+        self.weighted_choice_by(weights.iter().copied())
+    }
+
+    /// Like [`weighted_choice`](Self::weighted_choice), but over any
+    /// re-iterable weight sequence — same draw, same scan, no temporary
+    /// buffer. Callers whose weights live inside wider records (e.g. a
+    /// `(type, weight)` mix) sample without collecting a `Vec` first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sequence is empty or the weights do not sum to a
+    /// positive value.
+    pub fn weighted_choice_by(&mut self, weights: impl Iterator<Item = f64> + Clone) -> usize {
+        let mut n = 0usize;
+        let mut total = 0.0;
+        // simlint: allow(hot-path-alloc) — iterator-handle clone, not data
+        for w in weights.clone() {
+            total += w;
+            n += 1;
+        }
+        assert!(n > 0, "weighted_choice needs weights");
         assert!(total > 0.0, "weights must sum to a positive value");
         let mut x = self.unit() * total;
-        for (i, w) in weights.iter().enumerate() {
+        for (i, w) in weights.enumerate() {
             x -= w;
             if x <= 0.0 {
                 return i;
             }
         }
-        weights.len() - 1
+        n - 1
     }
 
     /// A Bernoulli draw that is `true` with probability `p` (clamped to
@@ -195,6 +223,21 @@ impl RngStream {
     pub fn fingerprint(&self) -> u64 {
         self.inner.clone().next_u64()
     }
+}
+
+/// Maps a uniform draw `u` in `[0, 1)` onto the exponential with the given
+/// `mean` (not rate); non-positive means collapse to `0.0`.
+///
+/// This is the deterministic tail of [`RngStream::exp`]; it is exposed so
+/// hot paths can batch the uniform draws (see [`RngStream::fill_unit`]) and
+/// apply them later — the batched and per-call paths are bit-identical.
+pub fn exp_from_unit(mean: f64, u: f64) -> f64 {
+    if mean <= 0.0 {
+        return 0.0;
+    }
+    // Inverse-transform sampling; clamp the uniform away from 0 so ln is
+    // finite.
+    -mean * u.max(1e-12).ln()
 }
 
 /// Maps a standard normal draw `z` onto the lognormal with the given `mean`
@@ -281,6 +324,27 @@ mod tests {
         let direct = a.lognormal_mean_cv(mean, cv);
         let via_z = lognormal_mean_cv_from_z(mean, cv, b.standard_normal());
         assert_eq!(direct.to_bits(), via_z.to_bits());
+    }
+
+    #[test]
+    fn batched_units_match_per_call_sequence() {
+        let mut a = RngStream::from_label(13, "ubatch");
+        let mut b = RngStream::from_label(13, "ubatch");
+        let mut buf = [0.0f64; 32];
+        a.fill_unit(&mut buf);
+        for u in buf {
+            assert_eq!(u.to_bits(), b.unit().to_bits());
+        }
+        // The exponential split must reproduce the fused draw exactly.
+        let direct = a.exp(7.0);
+        let via_u = exp_from_unit(7.0, b.unit());
+        assert_eq!(direct.to_bits(), via_u.to_bits());
+    }
+
+    #[test]
+    fn exp_from_unit_nonpositive_mean_is_zero() {
+        assert_eq!(exp_from_unit(0.0, 0.5), 0.0);
+        assert_eq!(exp_from_unit(-3.0, 0.5), 0.0);
     }
 
     #[test]

@@ -6,7 +6,11 @@
 //!   emulated users, each navigating the application's request types
 //!   through a Markov chain ([`BrowsingModel`]) with exponential think
 //!   times (7 s mean in the paper). Closed-loop means a user has at most
-//!   one outstanding request.
+//!   one outstanding request. Built on a flat user slab plus a bucketed
+//!   think-timer arena ([`ThinkArena`]) so cells with 100k+ users cost
+//!   O(occupied buckets) pending wheel events; the retained naive twin
+//!   ([`ClosedLoopUsersNaive`]) is its differential ground truth and
+//!   bench baseline.
 //! * [`PoissonSource`] — an open-loop source at a fixed or time-varying
 //!   rate, used by experiments that specify workloads in req/s.
 //! * [`RateTrace`] — piecewise-constant rate series; includes a
@@ -16,12 +20,14 @@
 //! All generators are [`microsim::Agent`]s: they interact with the platform
 //! exactly like any external client.
 
+pub mod arena;
 pub mod mix;
 pub mod poisson;
 pub mod trace;
 pub mod users;
 
+pub use arena::{think_tick_micros, ThinkArena};
 pub use mix::RequestMix;
 pub use poisson::PoissonSource;
 pub use trace::RateTrace;
-pub use users::{BrowsingModel, ClosedLoopUsers};
+pub use users::{BrowsingModel, ClosedLoopUsers, ClosedLoopUsersNaive};

@@ -55,8 +55,7 @@ impl RequestMix {
 
     /// Draws one request type.
     pub fn sample(&self, rng: &mut RngStream) -> RequestTypeId {
-        let weights: Vec<f64> = self.entries.iter().map(|(_, w)| *w).collect();
-        self.entries[rng.weighted_choice(&weights)].0
+        self.entries[rng.weighted_choice_by(self.entries.iter().map(|(_, w)| *w))].0
     }
 
     /// The `(type, weight)` entries.

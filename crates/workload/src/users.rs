@@ -1,23 +1,96 @@
 //! Closed-loop emulated user populations.
+//!
+//! Two implementations live here:
+//!
+//! * [`ClosedLoopUsers`] — the flat-arena engine sized for 100k+ users per
+//!   cell: a flat user slab addressed by the request tag (O(1) response
+//!   dispatch, zero hashing), a bucketed [`ThinkArena`] (one kernel wakeup
+//!   per occupied bucket instead of one wheel event per sleeping user),
+//!   precomputed alias tables for the Markov transitions, and prefetched
+//!   uniform draws.
+//! * [`ClosedLoopUsersNaive`] — the retained naive twin with identical
+//!   observable semantics over `HashMap`/`BTreeMap` bookkeeping and
+//!   per-call RNG. It is the differential ground truth
+//!   (`tests/determinism.rs` pins the two byte-for-byte) and the bench
+//!   baseline the flat-arena speedups are measured against.
+//!
+//! # RNG stream layout
+//!
+//! Both populations consume one `unit()` stream (label `workload/users`)
+//! in the same order, which the determinism tests pin:
+//!
+//! 1. construction: one uniform per user (initial Markov state, mapped
+//!    through the initial alias table);
+//! 2. `start`: one uniform per user in slot order (first think time),
+//!    skipped entirely when the mean think time is zero;
+//! 3. per response: one uniform for the Markov transition (alias table),
+//!    then one uniform for the next think time (again skipped at zero
+//!    mean).
+//!
+//! The engine prefetches this stream in [`UNIT_BATCH`]-draw blocks via
+//! [`RngStream::fill_unit`], which is documented to be bit-identical to
+//! per-call draws — so batching changes no outcome, only the per-draw
+//! cost. Relative to the pre-arena implementation, the *mapping* of
+//! transition uniforms changed from `weighted_choice`'s inverse-CDF scan
+//! to alias-table lookups (same distribution, different outcomes for a
+//! given uniform), and think expiries are quantised up to the arena tick
+//! (≤ ~0.05 % of the mean; see [`think_tick_micros`]).
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
 
 use callgraph::RequestTypeId;
 use microsim::{Agent, Origin, Response, SimCtx};
-use simnet::{RngStream, SegStore, SimDuration, SimTime, Welford};
+use simnet::{exp_from_unit, AliasTable, RngStream, SegStore, SimDuration, SimTime, Welford};
+
+use crate::arena::{think_tick_micros, ThinkArena};
+
+/// Prefetch block size for the engine's uniform draws (mirrors the
+/// kernel's demand-z batching).
+const UNIT_BATCH: usize = 32;
+
+/// Base IPv4 address of emulated users; user `i` gets `base + i`.
+const USER_IP_BASE: u32 = 0x0A10_0000;
+
+/// One weighted transition row with its precomputed alias table.
+#[derive(Debug, Clone, PartialEq)]
+struct TransitionRow {
+    weights: Vec<f64>,
+    alias: AliasTable,
+}
+
+impl TransitionRow {
+    fn new(weights: Vec<f64>) -> Self {
+        let alias = AliasTable::new(&weights);
+        TransitionRow { weights, alias }
+    }
+}
+
+/// Transition-row storage: a full matrix keeps one row per state; a
+/// memoryless model stores its single shared row **once** (the old
+/// `vec![weights.clone(); n]` representation was O(n²) memory for an
+/// n-state memoryless model).
+#[derive(Debug, Clone, PartialEq)]
+enum TransitionRows {
+    /// `rows[i]`: outgoing weights of state `i`.
+    PerState(Vec<TransitionRow>),
+    /// Every state draws from the same row.
+    Shared(TransitionRow),
+}
 
 /// A Markov model of how a user navigates the application's pages.
 ///
 /// State `i` corresponds to request type `i` of the owning model's
 /// `types` list; after completing a request of state `i`, the next request
-/// type is drawn from row `i` of the transition matrix.
+/// type is drawn from row `i` of the transition matrix. Rows are sampled
+/// through precomputed [`AliasTable`]s: O(1) per transition regardless of
+/// the catalogue size.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BrowsingModel {
     types: Vec<RequestTypeId>,
-    /// `transitions[i][j]`: weight of moving from state `i` to state `j`.
-    transitions: Vec<Vec<f64>>,
+    rows: TransitionRows,
     /// Initial-state weights.
-    initial: Vec<f64>,
+    initial: TransitionRow,
 }
 
 impl BrowsingModel {
@@ -45,17 +118,30 @@ impl BrowsingModel {
         );
         BrowsingModel {
             types,
-            transitions,
-            initial,
+            rows: TransitionRows::PerState(
+                transitions.into_iter().map(TransitionRow::new).collect(),
+            ),
+            initial: TransitionRow::new(initial),
         }
     }
 
     /// A memoryless model: every step draws independently from `weights`.
+    ///
+    /// The shared row (and its alias table) is stored once, not cloned per
+    /// state.
     pub fn memoryless(entries: Vec<(RequestTypeId, f64)>) -> Self {
         let types: Vec<RequestTypeId> = entries.iter().map(|(t, _)| *t).collect();
         let weights: Vec<f64> = entries.iter().map(|(_, w)| *w).collect();
-        let n = types.len();
-        BrowsingModel::new(types, vec![weights.clone(); n], weights)
+        assert!(!types.is_empty(), "browsing model needs at least one state");
+        assert!(
+            weights.iter().sum::<f64>() > 0.0,
+            "initial weights must be sampleable"
+        );
+        BrowsingModel {
+            types,
+            rows: TransitionRows::Shared(TransitionRow::new(weights.clone())),
+            initial: TransitionRow::new(weights),
+        }
     }
 
     /// A uniform memoryless model over the given types.
@@ -63,12 +149,36 @@ impl BrowsingModel {
         Self::memoryless(types.into_iter().map(|t| (t, 1.0)).collect())
     }
 
-    fn initial_state(&self, rng: &mut RngStream) -> usize {
-        rng.weighted_choice(&self.initial)
+    /// Maps one uniform draw onto an initial state (pure; see the module
+    /// docs on batching).
+    fn initial_state(&self, u: f64) -> usize {
+        self.initial.alias.sample(u)
     }
 
-    fn next_state(&self, from: usize, rng: &mut RngStream) -> usize {
-        rng.weighted_choice(&self.transitions[from])
+    /// Maps one uniform draw onto the successor of `from` (pure).
+    fn next_state(&self, from: usize, u: f64) -> usize {
+        self.row(from).alias.sample(u)
+    }
+
+    fn row(&self, from: usize) -> &TransitionRow {
+        match &self.rows {
+            TransitionRows::PerState(rows) => &rows[from],
+            TransitionRows::Shared(row) => {
+                debug_assert!(from < self.types.len());
+                row
+            }
+        }
+    }
+
+    /// The raw outgoing weights of a state (the bench harness runs
+    /// `weighted_choice` over this slice as the alias tables' naive twin).
+    pub fn transition_weights(&self, from: usize) -> &[f64] {
+        &self.row(from).weights
+    }
+
+    /// The precomputed alias table of a state's outgoing row.
+    pub fn transition_alias(&self, from: usize) -> &AliasTable {
+        &self.row(from).alias
     }
 
     /// The request type of a state.
@@ -82,14 +192,8 @@ impl BrowsingModel {
     }
 }
 
-#[derive(Debug, Clone, Copy)]
-struct User {
-    state: usize,
-    session: u64,
-    ip: u32,
-}
-
-/// A closed-loop population of `n` emulated users (Section V-B).
+/// A closed-loop population of `n` emulated users (Section V-B), built for
+/// the deep-population regime (100k+ users per cell).
 ///
 /// Each user cycles: think → issue the request of the current Markov state
 /// → wait for the response → transition → think again. Think times follow
@@ -100,15 +204,38 @@ struct User {
 /// within 3 s, which is exactly why the IDS interval rule can use that
 /// threshold without drowning in false positives.
 ///
+/// Engine shape (the deep-population rebuild):
+///
+/// * users live in a flat slab — the per-slot Markov state is the only
+///   per-user byte; session and IP derive from the slot index. Requests
+///   carry the slot in their tag ([`SimCtx::submit_tagged`]), so response
+///   dispatch is one array index.
+/// * sleeping users are parked in a [`ThinkArena`]: one kernel wakeup per
+///   occupied think bucket, users stepped in slot order when it fires —
+///   pending wheel events are O(occupied buckets), not O(users).
+/// * RNG work is batched: uniforms are prefetched in [`UNIT_BATCH`] blocks
+///   and mapped through precomputed alias tables / the pure exponential
+///   tail (see the module docs for the pinned stream layout).
+///
 /// The population records client-side latency statistics, which is what
 /// the paper's tables report as user-perceived response time.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct ClosedLoopUsers {
-    model: BrowsingModel,
+    /// Immutable model shared by reference across forks (alias tables for
+    /// a large catalogue are not worth copying 100k-user snapshots over).
+    model: Arc<BrowsingModel>,
     think_mean_s: f64,
-    users: Vec<User>,
+    /// Flat user slab: current Markov state per slot.
+    states: Vec<u32>,
     rng: RngStream,
-    outstanding: HashMap<u64, usize>,
+    /// Prefetched uniforms ([`RngStream::fill_unit`] blocks).
+    unit_buf: [f64; UNIT_BATCH],
+    /// Next unconsumed index into `unit_buf` (`UNIT_BATCH` = empty).
+    unit_next: usize,
+    /// Bucketed think timers.
+    arena: ThinkArena,
+    /// Reused wake-batch buffer (drained slots of the firing bucket).
+    wake_scratch: Vec<u32>,
     /// Client-side latency stats (ms) over the whole run.
     latency: Welford,
     /// Raw (completion time, latency ms) samples for windowed series.
@@ -120,25 +247,242 @@ pub struct ClosedLoopUsers {
     record_after: SimTime,
 }
 
+// Live population state forks through a hand-written per-field Clone
+// (simlint `snapshot-complete` keeps it field-complete); the model is an
+// Arc handle bump and the samples store is copy-on-write.
+impl Clone for ClosedLoopUsers {
+    fn clone(&self) -> Self {
+        ClosedLoopUsers {
+            model: Arc::clone(&self.model),
+            think_mean_s: self.think_mean_s,
+            states: self.states.clone(),
+            rng: self.rng.clone(),
+            unit_buf: self.unit_buf,
+            unit_next: self.unit_next,
+            arena: self.arena.clone(),
+            wake_scratch: Vec::new(),
+            latency: self.latency,
+            samples: self.samples.clone(),
+            record_after: self.record_after,
+        }
+    }
+}
+
 impl ClosedLoopUsers {
     /// Creates a population of `n` users with the paper's 7 s mean think
     /// time.
     pub fn new(n: usize, model: BrowsingModel, seed: u64) -> Self {
         assert!(n > 0, "population needs at least one user");
+        let model = Arc::new(model);
         let mut rng = RngStream::from_label(seed, "workload/users");
-        let users = (0..n)
-            .map(|i| User {
-                state: model.initial_state(&mut rng),
-                session: i as u64,
-                ip: 0x0A10_0000 + i as u32,
-            })
-            .collect();
+        let mut unit_buf = [0.0f64; UNIT_BATCH];
+        let mut unit_next = UNIT_BATCH;
+        let mut states = Vec::with_capacity(n);
+        for _ in 0..n {
+            if unit_next == UNIT_BATCH {
+                rng.fill_unit(&mut unit_buf);
+                unit_next = 0;
+            }
+            states.push(model.initial_state(unit_buf[unit_next]) as u32);
+            unit_next += 1;
+        }
+        let think_mean_s = 7.0;
         ClosedLoopUsers {
             model,
+            think_mean_s,
+            states,
+            rng,
+            unit_buf,
+            unit_next,
+            arena: ThinkArena::new(think_tick_micros(think_mean_s), n),
+            wake_scratch: Vec::new(),
+            latency: Welford::new(),
+            samples: SegStore::new(),
+            record_after: SimTime::ZERO,
+        }
+    }
+
+    /// Overrides the mean think time in seconds (before the simulation
+    /// starts: the arena's bucket granularity is derived from the mean).
+    pub fn with_think_time(mut self, mean_s: f64) -> Self {
+        assert!(mean_s >= 0.0, "think time cannot be negative");
+        assert!(
+            self.arena.is_empty(),
+            "think time must be set before the population starts"
+        );
+        self.think_mean_s = mean_s;
+        self.arena = ThinkArena::new(think_tick_micros(mean_s), self.states.len());
+        self
+    }
+
+    /// Starts raw-sample recording only after `t` (statistics in
+    /// [`ClosedLoopUsers::latency_stats`] are unaffected).
+    pub fn record_after(mut self, t: SimTime) -> Self {
+        self.record_after = t;
+        self
+    }
+
+    /// Population size.
+    pub fn population(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Aggregate latency statistics in milliseconds.
+    pub fn latency_stats(&self) -> Welford {
+        self.latency
+    }
+
+    /// Raw `(completed_at, latency_ms)` samples recorded after the
+    /// configured threshold.
+    pub fn samples(&self) -> &SegStore<(SimTime, f64)> {
+        &self.samples
+    }
+
+    /// Occupied think buckets — the population's pending-wakeup footprint
+    /// on the kernel wheel (O(buckets), not O(users)).
+    pub fn pending_think_buckets(&self) -> usize {
+        self.arena.occupied_buckets()
+    }
+
+    /// The arena's bucket granularity in microseconds.
+    pub fn think_tick_micros(&self) -> u64 {
+        self.arena.tick_micros()
+    }
+
+    /// The next prefetched uniform (bit-identical to `rng.unit()`).
+    fn next_unit(&mut self) -> f64 {
+        if self.unit_next == UNIT_BATCH {
+            self.rng.fill_unit(&mut self.unit_buf);
+            self.unit_next = 0;
+        }
+        let u = self.unit_buf[self.unit_next];
+        self.unit_next += 1;
+        u
+    }
+
+    /// One shifted-exponential think draw (consumes a uniform only when
+    /// the exponential remainder is non-degenerate, like `RngStream::exp`).
+    fn think_seconds(&mut self) -> f64 {
+        let floor = self.think_mean_s * 3.0 / 7.0;
+        let remainder = self.think_mean_s - floor;
+        if remainder > 0.0 {
+            floor + exp_from_unit(remainder, self.next_unit())
+        } else {
+            floor
+        }
+    }
+
+    /// Parks `slot` for one think time; schedules the bucket's kernel
+    /// wakeup if it is the first occupant.
+    fn park(&mut self, ctx: &mut SimCtx<'_>, slot: u32) {
+        let think = self.think_seconds();
+        let expiry = ctx.now() + SimDuration::from_secs_f64(think);
+        let tick = self.arena.tick_of(expiry);
+        if self.arena.schedule(ctx.now(), slot, tick) {
+            let delay = self.arena.wake_time(tick).saturating_since(ctx.now());
+            ctx.schedule_wake(delay, tick);
+        }
+    }
+
+    /// Issues the request of `slot`'s current state, tagged with the slot
+    /// for O(1) response dispatch.
+    fn fire_slot(&mut self, ctx: &mut SimCtx<'_>, slot: u32) {
+        let rt = self.model.request_type(self.states[slot as usize] as usize);
+        let origin = Origin::legit(USER_IP_BASE + slot, u64::from(slot));
+        ctx.submit_tagged(rt, origin, u64::from(slot));
+    }
+}
+
+impl Agent for ClosedLoopUsers {
+    fn start(&mut self, ctx: &mut SimCtx<'_>) {
+        for slot in 0..self.states.len() as u32 {
+            self.park(ctx, slot);
+        }
+    }
+
+    fn on_wake(&mut self, ctx: &mut SimCtx<'_>, token: u64) {
+        // `token` is the firing bucket's tick; step its users in slot
+        // order. The batch buffer is swapped out so the arena and the
+        // submission path never hold overlapping borrows.
+        let mut batch = std::mem::take(&mut self.wake_scratch);
+        self.arena.drain_into(token, &mut batch);
+        for &slot in &batch {
+            self.fire_slot(ctx, slot);
+        }
+        self.wake_scratch = batch;
+    }
+
+    fn on_response(&mut self, ctx: &mut SimCtx<'_>, response: &Response) {
+        // The tag is the submitting slot: O(1) dispatch, no token map.
+        let slot = response.tag as usize;
+        debug_assert!(slot < self.states.len(), "response tag outside the slab");
+        let lat = response.latency_ms();
+        self.latency.push(lat);
+        if response.completed_at >= self.record_after {
+            self.samples.push((response.completed_at, lat));
+        }
+        let u = self.next_unit();
+        self.states[slot] = self.model.next_state(self.states[slot] as usize, u) as u32;
+        self.park(ctx, slot as u32);
+    }
+
+    fn snapshot(&self) -> Option<microsim::AgentState> {
+        Some(microsim::AgentState::of(self))
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct NaiveUser {
+    state: usize,
+    session: u64,
+    ip: u32,
+}
+
+/// The retained naive twin of [`ClosedLoopUsers`].
+///
+/// Identical observable semantics — same RNG stream consumption, same
+/// alias-table transition mapping, same quantised think ticks, same
+/// slot-ordered bucket stepping — over the bookkeeping the flat-arena
+/// engine replaced: a token→user `HashMap` for outstanding requests, a
+/// `BTreeMap` of think buckets (allocating a `Vec` per bucket), and
+/// per-call RNG draws. `tests/determinism.rs` pins the two populations
+/// byte-for-byte on paper-scale cells, and `bench_kernel`'s
+/// `large_population` section reports the engine's speedup over this twin.
+#[derive(Debug, Clone)]
+pub struct ClosedLoopUsersNaive {
+    model: BrowsingModel,
+    think_mean_s: f64,
+    tick_micros: u64,
+    users: Vec<NaiveUser>,
+    rng: RngStream,
+    outstanding: HashMap<u64, usize>,
+    timers: BTreeMap<u64, Vec<u32>>,
+    latency: Welford,
+    samples: SegStore<(SimTime, f64)>,
+    record_after: SimTime,
+}
+
+impl ClosedLoopUsersNaive {
+    /// Creates a population of `n` users with the paper's 7 s mean think
+    /// time (same seed/label/stream as [`ClosedLoopUsers::new`]).
+    pub fn new(n: usize, model: BrowsingModel, seed: u64) -> Self {
+        assert!(n > 0, "population needs at least one user");
+        let mut rng = RngStream::from_label(seed, "workload/users");
+        let users = (0..n)
+            .map(|i| NaiveUser {
+                state: model.initial_state(rng.unit()),
+                session: i as u64,
+                ip: USER_IP_BASE + i as u32,
+            })
+            .collect();
+        ClosedLoopUsersNaive {
+            model,
             think_mean_s: 7.0,
+            tick_micros: think_tick_micros(7.0),
             users,
             rng,
             outstanding: HashMap::new(),
+            timers: BTreeMap::new(),
             latency: Welford::new(),
             samples: SegStore::new(),
             record_after: SimTime::ZERO,
@@ -149,11 +493,11 @@ impl ClosedLoopUsers {
     pub fn with_think_time(mut self, mean_s: f64) -> Self {
         assert!(mean_s >= 0.0, "think time cannot be negative");
         self.think_mean_s = mean_s;
+        self.tick_micros = think_tick_micros(mean_s);
         self
     }
 
-    /// Starts raw-sample recording only after `t` (statistics in
-    /// [`ClosedLoopUsers::latency_stats`] are unaffected).
+    /// Starts raw-sample recording only after `t`.
     pub fn record_after(mut self, t: SimTime) -> Self {
         self.record_after = t;
         self
@@ -175,27 +519,37 @@ impl ClosedLoopUsers {
         &self.samples
     }
 
-    fn think_then_wake(&mut self, ctx: &mut SimCtx<'_>, user: usize) {
+    fn think_then_park(&mut self, ctx: &mut SimCtx<'_>, user: usize) {
         // Shifted exponential: floor + exp remainder, preserving the mean.
         let floor = self.think_mean_s * 3.0 / 7.0;
         let think = floor + self.rng.exp(self.think_mean_s - floor);
-        ctx.schedule_wake(SimDuration::from_secs_f64(think), user as u64);
+        let expiry = ctx.now() + SimDuration::from_secs_f64(think);
+        let tick = expiry.as_micros().div_ceil(self.tick_micros);
+        let bucket = self.timers.entry(tick).or_default();
+        bucket.push(user as u32);
+        if bucket.len() == 1 {
+            let at = SimTime::from_micros(tick * self.tick_micros);
+            ctx.schedule_wake(at.saturating_since(ctx.now()), tick);
+        }
     }
 }
 
-impl Agent for ClosedLoopUsers {
+impl Agent for ClosedLoopUsersNaive {
     fn start(&mut self, ctx: &mut SimCtx<'_>) {
         for user in 0..self.users.len() {
-            self.think_then_wake(ctx, user);
+            self.think_then_park(ctx, user);
         }
     }
 
     fn on_wake(&mut self, ctx: &mut SimCtx<'_>, token: u64) {
-        let user = token as usize;
-        let u = self.users[user];
-        let rt = self.model.request_type(u.state);
-        let req = ctx.submit(rt, Origin::legit(u.ip, u.session));
-        self.outstanding.insert(req, user);
+        let mut batch = self.timers.remove(&token).unwrap_or_default();
+        batch.sort_unstable();
+        for &slot in &batch {
+            let u = self.users[slot as usize];
+            let rt = self.model.request_type(u.state);
+            let req = ctx.submit(rt, Origin::legit(u.ip, u.session));
+            self.outstanding.insert(req, slot as usize);
+        }
     }
 
     fn on_response(&mut self, ctx: &mut SimCtx<'_>, response: &Response) {
@@ -209,8 +563,8 @@ impl Agent for ClosedLoopUsers {
             self.samples.push((response.completed_at, lat));
         }
         let state = self.users[user].state;
-        self.users[user].state = self.model.next_state(state, &mut self.rng);
-        self.think_then_wake(ctx, user);
+        self.users[user].state = self.model.next_state(state, self.rng.unit());
+        self.think_then_park(ctx, user);
     }
 
     fn snapshot(&self) -> Option<microsim::AgentState> {
@@ -323,6 +677,77 @@ mod tests {
     }
 
     #[test]
+    fn pending_wakeups_stay_bucketed() {
+        // At the paper's 7 s mean, a 4096 µs tick bounds the occupied
+        // buckets by the think horizon (~6k ticks): 20k sleeping users
+        // share far fewer buckets than users, and the kernel wheel carries
+        // O(buckets) events, not O(users).
+        let model = BrowsingModel::uniform([RequestTypeId::new(1)]);
+        let users = ClosedLoopUsers::new(20_000, model, 7).with_think_time(7.0);
+        let mut sim = Simulation::new(topo(), SimConfig::default());
+        let id = sim.add_agent(Box::new(users));
+        sim.run_until(SimTime::from_secs(20));
+        let users: &ClosedLoopUsers = sim.agent_as(id).expect("typed access");
+        let buckets = users.pending_think_buckets();
+        assert!(buckets > 0, "population must be parked between requests");
+        assert!(
+            buckets < 7_000,
+            "20k sleeping users must share < 7000 buckets, got {buckets}"
+        );
+        assert!(
+            sim.pending_events() < 8_000,
+            "wheel must carry O(buckets) events, got {}",
+            sim.pending_events()
+        );
+    }
+
+    #[test]
+    fn naive_twin_is_byte_identical() {
+        // The full-sim differential on a paper-like cell lives in
+        // tests/determinism.rs; this is the crate-level smoke version.
+        let model = BrowsingModel::uniform([RequestTypeId::new(0), RequestTypeId::new(1)]);
+        let mut fast = Simulation::new(topo(), SimConfig::default());
+        let fast_id = fast.add_agent(Box::new(
+            ClosedLoopUsers::new(200, model.clone(), 11).with_think_time(0.2),
+        ));
+        let mut naive = Simulation::new(topo(), SimConfig::default());
+        let naive_id = naive.add_agent(Box::new(
+            ClosedLoopUsersNaive::new(200, model, 11).with_think_time(0.2),
+        ));
+        fast.run_until(SimTime::from_secs(10));
+        naive.run_until(SimTime::from_secs(10));
+        let f: &ClosedLoopUsers = fast.agent_as(fast_id).expect("typed");
+        let n: &ClosedLoopUsersNaive = naive.agent_as(naive_id).expect("typed");
+        assert_eq!(f.latency_stats().count(), n.latency_stats().count());
+        assert_eq!(
+            f.latency_stats().mean().to_bits(),
+            n.latency_stats().mean().to_bits()
+        );
+        let fs: Vec<_> = f.samples().iter().collect();
+        let ns: Vec<_> = n.samples().iter().collect();
+        assert_eq!(fs, ns);
+        assert_eq!(
+            fast.metrics().request_log().len(),
+            naive.metrics().request_log().len()
+        );
+    }
+
+    #[test]
+    fn memoryless_shares_one_row() {
+        // The shared-row representation must not materialise n² weights.
+        let n = 512;
+        let entries: Vec<(RequestTypeId, f64)> = (0..n)
+            .map(|i| (RequestTypeId::new(i), 1.0 + i as f64))
+            .collect();
+        let m = BrowsingModel::memoryless(entries);
+        assert_eq!(m.num_states(), n as usize);
+        // All states alias the same shared row.
+        let p0 = m.transition_weights(0).as_ptr();
+        let p1 = m.transition_weights((n - 1) as usize).as_ptr();
+        assert_eq!(p0, p1, "memoryless rows must share storage");
+    }
+
+    #[test]
     #[should_panic(expected = "transition rows must be square")]
     fn ragged_matrix_rejected() {
         BrowsingModel::new(
@@ -336,5 +761,11 @@ mod tests {
     #[should_panic(expected = "needs at least one user")]
     fn empty_population_rejected() {
         ClosedLoopUsers::new(0, BrowsingModel::uniform([RequestTypeId::new(0)]), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs at least one user")]
+    fn empty_naive_population_rejected() {
+        ClosedLoopUsersNaive::new(0, BrowsingModel::uniform([RequestTypeId::new(0)]), 1);
     }
 }

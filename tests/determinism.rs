@@ -252,3 +252,131 @@ fn parallel_sweep_is_byte_identical_to_serial() {
         );
     }
 }
+
+/// The flat-arena population engine is byte-identical to its retained
+/// naive twin on paper-scale cells: same RNG stream consumption, same
+/// alias-table transitions, same quantised think ticks and same
+/// slot-ordered bucket stepping — over completely different bookkeeping
+/// (slab + intrusive timer ring vs token `HashMap` + `BTreeMap` buckets
+/// and per-call draws).
+mod population_twin {
+    use super::*;
+    use proptest::prelude::*;
+    use workload::ClosedLoopUsersNaive;
+
+    fn run_cell(users: usize, seed: u64, think_s: f64, naive: bool) -> Simulation {
+        let app = social_network(users);
+        let mut sim = Simulation::new(app.topology().clone(), SimConfig::default().seed(seed));
+        if naive {
+            sim.add_agent(Box::new(
+                ClosedLoopUsersNaive::new(users, app.browsing_model(), seed ^ 0xABCD)
+                    .with_think_time(think_s),
+            ));
+        } else {
+            sim.add_agent(Box::new(
+                ClosedLoopUsers::new(users, app.browsing_model(), seed ^ 0xABCD)
+                    .with_think_time(think_s),
+            ));
+        }
+        sim.run_until(SimTime::from_secs(10));
+        sim
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(5))]
+
+        #[test]
+        fn flat_arena_engine_matches_naive_twin(
+            users in 600usize..1800,
+            seed in any::<u64>(),
+            think_idx in 0usize..3,
+        ) {
+            let think_s = [0.5, 2.0, 7.0][think_idx];
+            let fast = run_cell(users, seed, think_s, false);
+            let naive = run_cell(users, seed, think_s, true);
+            prop_assert_eq!(
+                fast.metrics(),
+                naive.metrics(),
+                "recorded metrics diverged (users={}, seed={seed}, think={think_s})",
+                users
+            );
+            prop_assert_eq!(fast.rng_fingerprint(), naive.rng_fingerprint());
+        }
+    }
+}
+
+/// Snapshot/fork correctness of the think-timer arena *mid-bucket*: the
+/// checkpoint lands at an arbitrary microsecond — between a bucket filling
+/// up and its wakeup firing — and the forked run must stay in lockstep
+/// with the uninterrupted original.
+mod arena_fork {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn observe(sim: &Simulation) -> (usize, (u64, u64), Vec<(u64, u64)>) {
+        (
+            sim.pending_events(),
+            sim.rng_fingerprint(),
+            sim.metrics()
+                .request_log()
+                .iter()
+                .map(|r| (r.submitted_at.as_micros(), r.completed_at.as_micros()))
+                .collect(),
+        )
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn mid_bucket_fork_matches_uninterrupted_run(
+            users in 50usize..600,
+            seed in any::<u64>(),
+            think_idx in 0usize..3,
+            t1_micros in 1_000_000u64..6_000_000,
+        ) {
+            let think_s = [0.2, 1.0, 7.0][think_idx];
+            let app = social_network(users);
+            let build = || {
+                let mut sim =
+                    Simulation::new(app.topology().clone(), SimConfig::default().seed(seed));
+                let id = sim.add_agent(Box::new(
+                    ClosedLoopUsers::new(users, app.browsing_model(), seed ^ 0x51AB)
+                        .with_think_time(think_s),
+                ));
+                (sim, id)
+            };
+            let t2 = SimTime::from_secs(12);
+
+            let (mut cold, cold_id) = build();
+            cold.run_until(t2);
+
+            let (mut warm, warm_id) = build();
+            // Checkpoint mid-run at an arbitrary microsecond: think buckets
+            // are partially filled and their wakeups are still pending.
+            warm.run_until(SimTime::from_micros(t1_micros));
+            let users_mid: &ClosedLoopUsers = warm.agent_as(warm_id).expect("typed access");
+            prop_assume!(users_mid.pending_think_buckets() > 0);
+            let snap = warm.checkpoint().expect("snapshot");
+            let mut fork = Simulation::from_snapshot(&snap);
+            warm.run_until(t2);
+            fork.run_until(t2);
+
+            prop_assert_eq!(observe(&warm), observe(&fork), "fork diverged from original");
+            prop_assert_eq!(observe(&warm), observe(&cold), "warm run diverged from cold");
+            let a: &ClosedLoopUsers = warm.agent_as(warm_id).expect("typed access");
+            let b: &ClosedLoopUsers = fork.agent_as(warm_id).expect("typed access");
+            let c: &ClosedLoopUsers = cold.agent_as(cold_id).expect("typed access");
+            prop_assert_eq!(a.latency_stats().count(), b.latency_stats().count());
+            prop_assert_eq!(
+                a.latency_stats().mean().to_bits(),
+                b.latency_stats().mean().to_bits()
+            );
+            prop_assert_eq!(a.latency_stats().count(), c.latency_stats().count());
+            prop_assert_eq!(a.pending_think_buckets(), b.pending_think_buckets());
+            let sa: Vec<_> = a.samples().iter().collect();
+            let sb: Vec<_> = b.samples().iter().collect();
+            prop_assert_eq!(sa, sb);
+        }
+    }
+}
