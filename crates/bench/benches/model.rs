@@ -69,6 +69,7 @@ fn estimators(c: &mut Criterion) {
                     request_type: RequestTypeId::new(0),
                     submitted_at: SimTime::from_millis(t),
                     completed_at: SimTime::from_millis(t + 80 + (t % 37)),
+                    outcome: microsim::Outcome::Ok,
                 });
             }
             (obs.pmb_estimate(), obs.avg_rt_ms())

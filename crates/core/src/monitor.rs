@@ -115,6 +115,7 @@ mod tests {
             request_type: RequestTypeId::new(0),
             submitted_at: SimTime::from_millis(sent_ms),
             completed_at: SimTime::from_millis(done_ms),
+            outcome: microsim::Outcome::Ok,
         }
     }
 

@@ -67,6 +67,7 @@ proptest! {
                 request_type: RequestTypeId::new(0),
                 submitted_at: submitted,
                 completed_at: completed,
+                outcome: microsim::Outcome::Ok,
             });
         }
         prop_assert!(obs.is_complete());

@@ -85,9 +85,13 @@ fn main() {
         );
         let opts = RunOpts::new(fidelity).jobs(jobs).snapshots(snapshots);
         let report = experiments::run_with(name, opts);
-        let path = report
-            .write_to_dir(&out_dir)
-            .unwrap_or_else(|e| panic!("writing report for {name}: {e}"));
+        let path = match report.write_to_dir(&out_dir) {
+            Ok(path) => path,
+            Err(e) => {
+                eprintln!("error: writing report for {name} to {out_dir:?}: {e}");
+                std::process::exit(1);
+            }
+        };
         eprintln!(
             "   wrote {} ({:.1}s wall)",
             path.display(),

@@ -11,6 +11,7 @@ pub mod fig16;
 pub mod megacell;
 pub mod mitigation;
 pub mod model_check;
+pub mod resilience;
 pub mod table1;
 pub mod table4;
 
@@ -31,6 +32,7 @@ pub const ALL: &[&str] = &[
     "megacell",
     "ablations",
     "mitigation",
+    "resilience",
 ];
 
 /// Runs one experiment by name, serially.
@@ -80,6 +82,7 @@ pub fn run_with(name: &str, opts: RunOpts) -> Report {
         "ablations" => ablations::run_opts(opts),
         "mitigation" => mitigation::run_opts(opts),
         "model_check" => model_check::run(fidelity),
+        "resilience" => resilience::run(fidelity),
         other => panic!("unknown experiment {other:?}; known: {ALL:?}"),
     }
 }

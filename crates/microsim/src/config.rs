@@ -63,6 +63,168 @@ impl Default for PlatformProfile {
     }
 }
 
+/// Platform-level retry policy for failed requests.
+///
+/// `max_attempts` counts *total* attempts: `1` means no retries (the
+/// original submission is the only attempt). Backoff before attempt `n`
+/// (n ≥ 2) is `backoff_base · 2^(n-2) · (1 + jitter · u)` with `u` a
+/// uniform draw from the kernel's `"kernel/retry"` stream — consumed only
+/// when `jitter > 0`, so jitter-free policies leave the stream untouched.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Total attempts, including the original submission (≥ 1).
+    pub max_attempts: u32,
+    /// Base backoff delay, doubled per additional attempt.
+    pub backoff_base: SimDuration,
+    /// Jitter fraction in `[0, 1]`: the backoff is stretched by up to
+    /// `jitter · 100%`, deterministically drawn per retry.
+    pub jitter: f64,
+}
+
+impl RetryPolicy {
+    /// No retries: the original attempt is the only one.
+    pub const fn disabled() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            backoff_base: SimDuration::ZERO,
+            jitter: 0.0,
+        }
+    }
+}
+
+/// Per-service circuit-breaker policy.
+///
+/// A breaker trips after `failure_threshold` consecutive failures observed
+/// at a service (timeouts attributed to it or sheds at its queue). While
+/// open it fails requests fast ([`Outcome::Rejected`](crate::Outcome));
+/// after `probe_interval` one half-open probe is let through, and its
+/// success closes the breaker.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BreakerPolicy {
+    /// Consecutive failures that trip the breaker; `0` disables breakers.
+    pub failure_threshold: u32,
+    /// How long the breaker stays open before admitting a half-open probe.
+    pub probe_interval: SimDuration,
+}
+
+impl BreakerPolicy {
+    /// Breakers off.
+    pub const fn disabled() -> Self {
+        BreakerPolicy {
+            failure_threshold: 0,
+            probe_interval: SimDuration::ZERO,
+        }
+    }
+}
+
+/// One request type's (or the default) resilience knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ResiliencePolicy {
+    /// End-to-end deadline per attempt; `None` means requests never time
+    /// out (the pre-resilience behaviour).
+    pub deadline: Option<SimDuration>,
+    /// Platform-level retry policy for failed attempts.
+    pub retry: RetryPolicy,
+    /// Circuit-breaker policy (service-level; read from the default
+    /// policy only).
+    pub breaker: BreakerPolicy,
+    /// Bound on each replica's wait queue; arrivals beyond it are shed
+    /// ([`Outcome::Shed`](crate::Outcome)). `None` means unbounded.
+    pub queue_bound: Option<u32>,
+}
+
+impl ResiliencePolicy {
+    /// Everything off: no deadlines, no retries, no breakers, unbounded
+    /// queues. With this policy the kernel's behaviour is bit-identical to
+    /// the pre-resilience platform.
+    pub const fn disabled() -> Self {
+        ResiliencePolicy {
+            deadline: None,
+            retry: RetryPolicy::disabled(),
+            breaker: BreakerPolicy::disabled(),
+            queue_bound: None,
+        }
+    }
+
+    /// Whether this policy changes nothing.
+    pub fn is_disabled(&self) -> bool {
+        self.deadline.is_none()
+            && self.retry.max_attempts <= 1
+            && self.breaker.failure_threshold == 0
+            && self.queue_bound.is_none()
+    }
+}
+
+impl Default for ResiliencePolicy {
+    fn default() -> Self {
+        ResiliencePolicy::disabled()
+    }
+}
+
+/// A per-request-type policy override.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TypePolicy {
+    /// Dense request-type index the override applies to.
+    pub request_type: u32,
+    /// The policy for that type.
+    pub policy: ResiliencePolicy,
+}
+
+/// The simulation's resilience configuration: a default policy plus
+/// per-request-type overrides.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct ResilienceConfig {
+    /// Policy for request types without an override. Breaker and
+    /// queue-bound settings are service-level and read from here only.
+    pub default: ResiliencePolicy,
+    /// Per-request-type overrides (deadline/retry axes).
+    pub per_type: Vec<TypePolicy>,
+}
+
+impl ResilienceConfig {
+    /// Everything off (the default).
+    pub fn disabled() -> Self {
+        ResilienceConfig::default()
+    }
+
+    /// One policy for every request type.
+    pub fn uniform(policy: ResiliencePolicy) -> Self {
+        ResilienceConfig {
+            default: policy,
+            per_type: Vec::new(),
+        }
+    }
+
+    /// Adds or replaces the override for `request_type`.
+    pub fn set_type(mut self, request_type: u32, policy: ResiliencePolicy) -> Self {
+        match self
+            .per_type
+            .iter_mut()
+            .find(|tp| tp.request_type == request_type)
+        {
+            Some(tp) => tp.policy = policy,
+            None => self.per_type.push(TypePolicy {
+                request_type,
+                policy,
+            }),
+        }
+        self
+    }
+
+    /// The effective policy for a request type.
+    pub fn policy_for(&self, request_type: u32) -> &ResiliencePolicy {
+        self.per_type
+            .iter()
+            .find(|tp| tp.request_type == request_type)
+            .map_or(&self.default, |tp| &tp.policy)
+    }
+
+    /// Whether every policy (default and overrides) is a no-op.
+    pub fn is_disabled(&self) -> bool {
+        self.default.is_disabled() && self.per_type.iter().all(|tp| tp.policy.is_disabled())
+    }
+}
+
 /// Top-level simulation parameters.
 ///
 /// Construct with [`SimConfig::default`] and override with the
@@ -96,6 +258,10 @@ pub struct SimConfig {
     /// Whether to retain the gateway access log (needed by the IDS in the
     /// `defense` crate; costs memory on long runs).
     pub access_log: bool,
+    /// Resilience policies (deadlines, retries, breakers, queue bounds).
+    /// Disabled by default — the platform then behaves bit-identically to
+    /// the pre-resilience kernel.
+    pub resilience: ResilienceConfig,
 }
 
 impl SimConfig {
@@ -139,6 +305,12 @@ impl SimConfig {
         self.access_log = enabled;
         self
     }
+
+    /// Sets the resilience configuration.
+    pub fn resilience(mut self, resilience: ResilienceConfig) -> Self {
+        self.resilience = resilience;
+        self
+    }
 }
 
 impl Default for SimConfig {
@@ -150,6 +322,7 @@ impl Default for SimConfig {
             trace_sampling: 0.0,
             autoscale: None,
             access_log: true,
+            resilience: ResilienceConfig::disabled(),
         }
     }
 }
@@ -183,5 +356,33 @@ mod tests {
     #[should_panic(expected = "window must be positive")]
     fn zero_window_rejected() {
         let _ = SimConfig::default().window(SimDuration::ZERO);
+    }
+
+    #[test]
+    fn disabled_policies_are_noops() {
+        assert!(ResiliencePolicy::disabled().is_disabled());
+        assert!(ResilienceConfig::disabled().is_disabled());
+        assert!(SimConfig::default().resilience.is_disabled());
+        let active = ResiliencePolicy {
+            deadline: Some(SimDuration::from_millis(500)),
+            ..ResiliencePolicy::disabled()
+        };
+        assert!(!active.is_disabled());
+        assert!(!ResilienceConfig::uniform(active).is_disabled());
+    }
+
+    #[test]
+    fn per_type_overrides_resolve() {
+        let tight = ResiliencePolicy {
+            deadline: Some(SimDuration::from_millis(200)),
+            ..ResiliencePolicy::disabled()
+        };
+        let rc = ResilienceConfig::disabled().set_type(2, tight);
+        assert!(rc.policy_for(0).is_disabled());
+        assert_eq!(rc.policy_for(2).deadline, tight.deadline);
+        // Replacing an existing override keeps the list deduplicated.
+        let rc = rc.set_type(2, ResiliencePolicy::disabled());
+        assert_eq!(rc.per_type.len(), 1);
+        assert!(rc.is_disabled());
     }
 }

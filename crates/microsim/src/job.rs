@@ -50,6 +50,40 @@ impl Origin {
     }
 }
 
+/// How a request ended, as observed by the submitting client.
+///
+/// With every [`ResiliencePolicy`](crate::ResiliencePolicy) disabled the
+/// platform never fails a request and every response carries
+/// [`Outcome::Ok`] — the pre-resilience behaviour, bit for bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Outcome {
+    /// The request completed normally.
+    Ok,
+    /// The request's deadline expired before completion; every thread slot
+    /// it held was released at expiry.
+    TimedOut,
+    /// An open circuit breaker failed the request fast at some service.
+    Rejected,
+    /// A bounded wait queue was full at some service and the request was
+    /// shed on arrival.
+    Shed,
+}
+
+/// Number of [`Outcome`] variants (the telemetry index axis size).
+pub(crate) const OUTCOME_COUNT: usize = 4;
+
+impl Outcome {
+    /// Dense index for counting-sort keys (telemetry CSR axis).
+    pub fn index(self) -> usize {
+        match self {
+            Outcome::Ok => 0,
+            Outcome::TimedOut => 1,
+            Outcome::Rejected => 2,
+            Outcome::Shed => 3,
+        }
+    }
+}
+
 /// Completion notification delivered to the submitting [`Agent`].
 ///
 /// This is everything an external client can observe about one request:
@@ -71,6 +105,9 @@ pub struct Response {
     pub submitted_at: SimTime,
     /// Completion time (client-side receive timestamp).
     pub completed_at: SimTime,
+    /// How the request ended. [`Outcome::Ok`] unless a resilience policy
+    /// failed it (after exhausting any platform-level retries).
+    pub outcome: Outcome,
 }
 
 impl Response {
@@ -113,6 +150,18 @@ pub(crate) struct Job {
     pub request_type: RequestTypeId,
     pub origin: Origin,
     pub submitted_at: SimTime,
+    /// Token of the *original* submission: what `SimCtx::submit` returned
+    /// and what the final [`Response`] carries. Platform-level retries get
+    /// a fresh `token` per attempt (deadline bookkeeping keys on it) but
+    /// keep `orig_token`, so agents always correlate on what they were
+    /// given.
+    pub orig_token: u64,
+    /// 1-based attempt number; `1` for the original submission.
+    pub attempt: u32,
+    /// Set when a deadline expired for this attempt: outstanding
+    /// references (queue entries, in-flight events) are tombstones and are
+    /// reaped lazily when next touched.
+    pub cancelled: bool,
     /// Activation frames; `frames[i]` corresponds to path step `i`.
     /// Frames are pushed as the request descends and popped as replies
     /// propagate back. Stored inline (no allocation) up to
@@ -144,7 +193,22 @@ mod tests {
             request_type: RequestTypeId::new(0),
             submitted_at: SimTime::from_millis(10),
             completed_at: SimTime::from_millis(135),
+            outcome: Outcome::Ok,
         };
         assert_eq!(r.latency_ms(), 125.0);
+    }
+
+    #[test]
+    fn outcome_indexes_are_dense() {
+        let all = [
+            Outcome::Ok,
+            Outcome::TimedOut,
+            Outcome::Rejected,
+            Outcome::Shed,
+        ];
+        assert_eq!(all.len(), OUTCOME_COUNT);
+        for (i, o) in all.iter().enumerate() {
+            assert_eq!(o.index(), i);
+        }
     }
 }

@@ -13,9 +13,10 @@ use simnet::{EventQueue, RngStream, SimDuration, SimTime};
 use crate::agent::AgentId;
 use crate::autoscale::{decide, ScaleDecision, ScalingAction, ScalingDirection};
 use crate::config::SimConfig;
-use crate::job::{Frame, Job, Origin, Phase, Response};
+use crate::job::{Frame, Job, Origin, Outcome, Phase, Response};
 use crate::metrics::{AccessLogEntry, Metrics, NetworkWindow, RequestRecord, ServiceWindow};
 use crate::replica::Segment;
+use crate::resilience::{BreakerBank, DeadlineQueues};
 use crate::service::Service;
 
 /// Events interpreted by the kernel's dispatch loop.
@@ -41,6 +42,13 @@ pub(crate) enum Event {
     Sample,
     /// A provisioned replica comes online.
     ScaleUpReady { service: usize },
+    /// The front entry of deadline class `class` may have expired. Each
+    /// class keeps at most one of these on the wheel (see
+    /// [`DeadlineQueues`]), so pending events stay O(classes) even with
+    /// 100k in-flight deadlines.
+    DeadlineCheck { class: u32 },
+    /// A platform-level retry's backoff elapsed: re-deliver the attempt.
+    Retry { job: usize },
 }
 
 /// Why [`Kernel::pump`] returned control to the run loop.
@@ -108,6 +116,18 @@ pub struct Kernel {
     pub(crate) sec_started: SimTime,
     pub(crate) windows_per_sec: u64,
     pub(crate) windows_seen: u64,
+    /// Backoff-jitter draws for platform retries; see the sequence-layout
+    /// contract in [`crate::resilience`].
+    pub(crate) retry_rng: RngStream,
+    /// Pending per-attempt deadlines, bucketed by duration class.
+    pub(crate) deadlines: DeadlineQueues,
+    /// Per-service circuit breakers (disabled when `failure_threshold` is
+    /// zero).
+    pub(crate) breakers: BreakerBank,
+    /// Fast gate: `false` when every resilience policy is disabled, in
+    /// which case the kernel takes exactly the pre-resilience code paths —
+    /// no extra events, draws, or records.
+    pub(crate) resilience_active: bool,
 }
 
 impl std::fmt::Debug for Kernel {
@@ -135,7 +155,18 @@ impl Kernel {
         let mut queue = EventQueue::with_capacity(1024);
         queue.push(now + cfg.window, Event::Sample);
         let windows_per_sec = (1_000_000 / cfg.window.as_micros()).max(1);
+        let type_deadlines: Vec<Option<SimDuration>> = (0..paths.len())
+            .map(|rt| cfg.resilience.policy_for(rt as u32).deadline)
+            .collect();
         Kernel {
+            retry_rng: RngStream::from_label(cfg.seed, "kernel/retry"),
+            deadlines: DeadlineQueues::new(&type_deadlines),
+            breakers: BreakerBank::new(
+                n,
+                cfg.resilience.default.breaker.failure_threshold,
+                cfg.resilience.default.breaker.probe_interval,
+            ),
+            resilience_active: !cfg.resilience.is_disabled(),
             metrics: Metrics::new(cfg.window, n),
             demand_rng: RngStream::from_label(cfg.seed, "kernel/demand"),
             demand_z: [0.0; DEMAND_Z_BATCH],
@@ -236,6 +267,9 @@ impl Kernel {
             request_type,
             origin,
             submitted_at: self.now,
+            orig_token: token,
+            attempt: 1,
+            cancelled: false,
             frames: crate::inline_vec::InlineVec::new(),
             spans,
         };
@@ -253,6 +287,14 @@ impl Kernel {
             self.now + self.cfg.platform.net_latency,
             Event::Deliver { job: id, step: 0 },
         );
+        if self.resilience_active {
+            if let Some((expiry, class)) =
+                self.deadlines
+                    .arm(self.now, request_type.index() as u32, id, token)
+            {
+                self.queue.push(expiry, Event::DeadlineCheck { class });
+            }
+        }
         token
     }
 
@@ -289,6 +331,8 @@ impl Kernel {
                 Event::Complete { job } => self.handle_complete(job),
                 Event::Sample => self.handle_sample(),
                 Event::ScaleUpReady { service } => self.handle_scale_up(service),
+                Event::DeadlineCheck { class } => self.handle_deadline_check(class),
+                Event::Retry { job } => self.handle_retry(job),
             }
             if !self.outbox.is_empty() {
                 return PumpResult::Responses;
@@ -304,8 +348,18 @@ impl Kernel {
     }
 
     fn handle_deliver(&mut self, job: usize, step: usize) {
+        if self.resilience_active && self.reap_if_cancelled(job) {
+            return;
+        }
         let service_id = self.path_of(job).steps()[step].service;
         let sidx = service_id.index();
+        if self.resilience_active && !self.breakers.admit(sidx, self.now) {
+            // Open breaker: fail fast before the request touches the
+            // service (no arrival is counted, no frame pushed). Breaker
+            // rejections do not themselves feed the failure counter.
+            self.fail_attempt(job, Outcome::Rejected, sidx, false, true);
+            return;
+        }
         self.win_arrivals[sidx] += 1;
         let ridx = self.services[sidx].pick_replica();
         {
@@ -319,10 +373,18 @@ impl Kernel {
                 spans[step].0 = self.now;
             }
         }
+        let queue_bound = self.cfg.resilience.default.queue_bound;
         let replica = &mut self.services[sidx].replicas[ridx];
         if replica.try_admit() {
             self.jobs[job].as_mut().expect("live job").frames[step].admitted = true;
             self.start_segment(sidx, ridx, job, step, Phase::Pre);
+        } else if self.resilience_active
+            && queue_bound.is_some_and(|b| replica.wait_queue.len() >= b as usize)
+        {
+            // Full bounded queue: shed on arrival. The frame just pushed
+            // was never admitted; drop it before failing the attempt.
+            self.jobs[job].as_mut().expect("live job").frames.pop();
+            self.fail_attempt(job, Outcome::Shed, sidx, true, true);
         } else {
             self.services[sidx].replicas[ridx]
                 .wait_queue
@@ -398,19 +460,40 @@ impl Kernel {
         step: usize,
         phase: Phase,
     ) {
-        // Hand the core to the next queued segment, if any.
+        // Hand the core to the next queued segment, if any. A queued
+        // segment of a cancelled job is skipped: popping it consumes that
+        // job's last reference, so the tombstone is reaped and the core
+        // takes the next segment (repeated `finish_segment` calls at the
+        // same instant are safe: busy-time accounting is idempotent).
         let now = self.now;
-        if let Some(next) = self.services[sidx].replicas[ridx].finish_segment(now) {
-            self.queue.push(
-                now + next.duration,
-                Event::ComputeDone {
-                    service: sidx,
-                    replica: ridx,
-                    job: next.job,
-                    step: next.step,
-                    phase: next.phase,
-                },
-            );
+        loop {
+            match self.services[sidx].replicas[ridx].finish_segment(now) {
+                Some(next)
+                    if self.resilience_active
+                        && self.jobs[next.job].as_ref().is_some_and(|j| j.cancelled) =>
+                {
+                    self.reap(next.job);
+                }
+                Some(next) => {
+                    self.queue.push(
+                        now + next.duration,
+                        Event::ComputeDone {
+                            service: sidx,
+                            replica: ridx,
+                            job: next.job,
+                            step: next.step,
+                            phase: next.phase,
+                        },
+                    );
+                    break;
+                }
+                None => break,
+            }
+        }
+        // A cancelled job's running segment finishes its core time (work
+        // is not preempted) but the job advances no further.
+        if self.resilience_active && self.reap_if_cancelled(job) {
+            return;
         }
         // Advance the finished job.
         let path_len = self.path_of(job).len();
@@ -433,6 +516,11 @@ impl Kernel {
     /// propagate the reply upstream (or complete the request).
     fn finish_step(&mut self, sidx: usize, ridx: usize, job: usize, step: usize) {
         self.win_completions[sidx] += 1;
+        if self.resilience_active {
+            // A completed step at this service is the breaker's success
+            // signal (it also ends a half-open probe, closing the breaker).
+            self.breakers.on_success(sidx);
+        }
         {
             let j = self.jobs[job].as_mut().expect("live job");
             if let Some(spans) = &mut j.spans {
@@ -441,26 +529,7 @@ impl Kernel {
             debug_assert_eq!(j.frames.len(), step + 1, "finishing the deepest frame");
             j.frames.pop();
         }
-        let replica = &mut self.services[sidx].replicas[ridx];
-        replica.release();
-        // Admit the next waiter on this replica, if any.
-        if let Some((wjob, wstep)) = replica.wait_queue.pop_front() {
-            if replica.try_admit() {
-                self.jobs[wjob].as_mut().expect("live waiter").frames[wstep].admitted = true;
-                self.start_segment(sidx, ridx, wjob, wstep, Phase::Pre);
-            } else {
-                // Draining replica: reroute the waiter to another replica.
-                self.jobs[wjob].as_mut().expect("live waiter").frames.pop();
-                self.win_arrivals[sidx] = self.win_arrivals[sidx].saturating_sub(1);
-                self.queue.push(
-                    self.now,
-                    Event::Deliver {
-                        job: wjob,
-                        step: wstep,
-                    },
-                );
-            }
-        }
+        self.release_slot_and_admit_waiter(sidx, ridx);
         let net = self.cfg.platform.net_latency;
         if step == 0 {
             self.queue.push(self.now + net, Event::Complete { job });
@@ -476,12 +545,18 @@ impl Kernel {
     }
 
     fn handle_reply(&mut self, job: usize, step: usize) {
+        if self.resilience_active && self.reap_if_cancelled(job) {
+            return;
+        }
         let frame = self.jobs[job].as_ref().expect("live job").frames[step];
         let service_id = self.path_of(job).steps()[step].service;
         self.start_segment(service_id.index(), frame.replica, job, step, Phase::Post);
     }
 
     fn handle_complete(&mut self, job: usize) {
+        if self.resilience_active && self.reap_if_cancelled(job) {
+            return;
+        }
         let j = self.jobs[job].take().expect("live job");
         self.free_jobs.push(job);
         let spec = self.topology.request_type(j.request_type);
@@ -491,6 +566,7 @@ impl Kernel {
             origin: j.origin,
             submitted_at: j.submitted_at,
             completed_at: self.now,
+            outcome: Outcome::Ok,
         });
         if let Some(spans) = j.spans {
             let mut hist = ExecutionHistory::new();
@@ -505,13 +581,252 @@ impl Kernel {
         self.outbox.push((
             j.agent,
             Response {
-                token: j.token,
+                token: j.orig_token,
                 tag: j.tag,
                 request_type: j.request_type,
                 submitted_at: j.submitted_at,
                 completed_at: self.now,
+                outcome: Outcome::Ok,
             },
         ));
+    }
+
+    // ---- resilience: deadlines, retries, breakers, shedding ----
+
+    /// Frees a job slot whose last outstanding reference was just
+    /// consumed, returning its span buffer to the pool.
+    fn reap(&mut self, job: usize) {
+        let j = self.jobs[job].take().expect("reaping a live slot");
+        self.free_jobs.push(job);
+        if let Some(spans) = j.spans {
+            self.span_pool.push(spans);
+        }
+    }
+
+    /// Reaps `job` if it is a cancelled tombstone. Returns `true` when the
+    /// caller's reference was the tombstone's last and has been consumed.
+    fn reap_if_cancelled(&mut self, job: usize) -> bool {
+        if self.jobs[job].as_ref().is_some_and(|j| j.cancelled) {
+            self.reap(job);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Releases one admitted thread slot on `(sidx, ridx)` and admits the
+    /// next live waiter, if any. Cancelled waiters' queue entries are
+    /// their last reference: they are reaped and the next entry is tried.
+    /// With resilience disabled no job is ever cancelled and this is
+    /// exactly the pre-resilience release path.
+    fn release_slot_and_admit_waiter(&mut self, sidx: usize, ridx: usize) {
+        self.services[sidx].replicas[ridx].release();
+        while let Some((wjob, wstep)) = self.services[sidx].replicas[ridx].wait_queue.pop_front() {
+            if self.jobs[wjob].as_ref().is_some_and(|j| j.cancelled) {
+                self.reap(wjob);
+                continue;
+            }
+            if self.services[sidx].replicas[ridx].try_admit() {
+                self.jobs[wjob].as_mut().expect("live waiter").frames[wstep].admitted = true;
+                self.start_segment(sidx, ridx, wjob, wstep, Phase::Pre);
+            } else {
+                // Draining replica: reroute the waiter to another replica.
+                self.jobs[wjob].as_mut().expect("live waiter").frames.pop();
+                self.win_arrivals[sidx] = self.win_arrivals[sidx].saturating_sub(1);
+                self.queue.push(
+                    self.now,
+                    Event::Deliver {
+                        job: wjob,
+                        step: wstep,
+                    },
+                );
+            }
+            break;
+        }
+    }
+
+    /// Fails the current attempt of `job` with `outcome`: tombstones it,
+    /// releases every thread slot it holds (admitting waiters), records
+    /// the failed attempt in the request log, feeds the failing service's
+    /// breaker, and either schedules a platform retry or delivers the
+    /// failure [`Response`].
+    ///
+    /// `reap_now` is set when the caller just consumed the job's only
+    /// outstanding progress reference (its `Deliver` event): the slot is
+    /// freed here and may be reused immediately by the retry. Otherwise
+    /// (deadline expiry) the job stays a cancelled tombstone until its
+    /// outstanding reference — an in-flight event or queue entry — is next
+    /// touched.
+    fn fail_attempt(
+        &mut self,
+        job: usize,
+        outcome: Outcome,
+        fail_sidx: usize,
+        count_failure: bool,
+        reap_now: bool,
+    ) {
+        let now = self.now;
+        let j = self.jobs[job].as_mut().expect("live job");
+        j.cancelled = true;
+        let agent = j.agent;
+        let orig_token = j.orig_token;
+        let tag = j.tag;
+        let rt = j.request_type;
+        let origin = j.origin;
+        let submitted_at = j.submitted_at;
+        let attempt = j.attempt;
+        let held = j.frames.len();
+        // Release admitted slots deepest-first, admitting waiters as slots
+        // free up. Frames are re-read through `self.jobs` each iteration
+        // because waiter admission can (on a path that revisits a service)
+        // pop this very tombstone's own wait entry and reap it.
+        for step in (0..held).rev() {
+            let Some(j) = self.jobs[job].as_ref() else {
+                break;
+            };
+            let frame = j.frames[step];
+            if !frame.admitted {
+                continue;
+            }
+            let sidx = self.paths[rt.index()].steps()[step].service.index();
+            self.release_slot_and_admit_waiter(sidx, frame.replica);
+        }
+        match outcome {
+            Outcome::TimedOut => self.metrics.resilience.timed_out += 1,
+            Outcome::Rejected => self.metrics.resilience.rejected += 1,
+            Outcome::Shed => self.metrics.resilience.shed += 1,
+            Outcome::Ok => unreachable!("Ok is not a failure"),
+        }
+        if count_failure && self.breakers.on_failure(fail_sidx, now) {
+            self.metrics.resilience.breaker_opens += 1;
+        }
+        // Failed attempts enter the request log at failure time (the log
+        // is ordered by completion, which here is the failure instant).
+        self.metrics.record_request(RequestRecord {
+            request_type: rt,
+            origin,
+            submitted_at,
+            completed_at: now,
+            outcome,
+        });
+        if reap_now && self.jobs[job].is_some() {
+            self.reap(job);
+        }
+        let policy = *self.cfg.resilience.policy_for(rt.index() as u32);
+        if attempt < policy.retry.max_attempts {
+            self.metrics.resilience.retries += 1;
+            let token = self.next_token;
+            self.next_token += 1;
+            // The retry takes a fresh slot and per-attempt token (deadline
+            // staleness keys on it) but keeps the original token and
+            // submission time the client knows. Retries are never traced,
+            // so the trace stream's layout is independent of failures.
+            let retry = Job {
+                agent,
+                token,
+                tag,
+                request_type: rt,
+                origin,
+                submitted_at,
+                orig_token,
+                attempt: attempt + 1,
+                cancelled: false,
+                frames: crate::inline_vec::InlineVec::new(),
+                spans: None,
+            };
+            let id = match self.free_jobs.pop() {
+                Some(i) => {
+                    self.jobs[i] = Some(retry);
+                    i
+                }
+                None => {
+                    self.jobs.push(Some(retry));
+                    self.jobs.len() - 1
+                }
+            };
+            // Exponential backoff with optional multiplicative jitter; the
+            // jitter draw is the sole consumer of the `kernel/retry`
+            // stream and is skipped entirely when `jitter == 0`.
+            let shift = (attempt - 1).min(20);
+            let mut backoff = policy.retry.backoff_base.as_secs_f64() * (1u64 << shift) as f64;
+            if policy.retry.jitter > 0.0 {
+                backoff *= 1.0 + policy.retry.jitter * self.retry_rng.unit();
+            }
+            self.queue.push(
+                now + SimDuration::from_secs_f64(backoff),
+                Event::Retry { job: id },
+            );
+        } else {
+            self.outbox.push((
+                agent,
+                Response {
+                    token: orig_token,
+                    tag,
+                    request_type: rt,
+                    submitted_at,
+                    completed_at: now,
+                    outcome,
+                },
+            ));
+        }
+    }
+
+    /// Drains the due entries of deadline `class`, timing out the live
+    /// ones, then re-schedules the class's single wheel event at the next
+    /// pending expiry (or disarms the class).
+    fn handle_deadline_check(&mut self, class: u32) {
+        let now = self.now;
+        while let Some((job, token)) = self.deadlines.pop_due(class, now) {
+            // Stale entries — the attempt completed, already failed, or
+            // the slot was reused — fail the token comparison and are
+            // dropped without effect.
+            let live = self.jobs[job]
+                .as_ref()
+                .is_some_and(|j| j.token == token && !j.cancelled);
+            if !live {
+                continue;
+            }
+            let j = self.jobs[job].as_ref().expect("checked live");
+            // Attribute the timeout to the deepest service reached (the
+            // one the request was stuck at); a request timing out before
+            // first delivery charges its entry service.
+            let path = &self.paths[j.request_type.index()];
+            let fail_step = j.frames.len().saturating_sub(1);
+            let fail_sidx = path.steps()[fail_step].service.index();
+            self.fail_attempt(job, Outcome::TimedOut, fail_sidx, true, false);
+        }
+        if let Some(next) = self.deadlines.re_arm(class) {
+            self.queue.push(next, Event::DeadlineCheck { class });
+        }
+    }
+
+    /// A scheduled retry's backoff elapsed: the attempt re-enters the
+    /// platform like a fresh submission — network-ingress accounting and
+    /// an access-log entry (retry storms stay IDS-visible) — and arms its
+    /// own per-attempt deadline.
+    fn handle_retry(&mut self, job: usize) {
+        let j = self.jobs[job].as_ref().expect("live retry");
+        let rt = j.request_type;
+        let origin = j.origin;
+        let token = j.token;
+        let spec = self.topology.request_type(rt);
+        let bytes = spec.request_bytes + self.cfg.platform.per_message_overhead;
+        self.win_net.bytes_in += bytes;
+        if self.cfg.access_log {
+            self.metrics.record_access(AccessLogEntry {
+                at: self.now,
+                origin,
+                request_type: rt,
+                bytes,
+            });
+        }
+        self.queue.push(
+            self.now + self.cfg.platform.net_latency,
+            Event::Deliver { job, step: 0 },
+        );
+        if let Some((expiry, class)) = self.deadlines.arm(self.now, rt.index() as u32, job, token) {
+            self.queue.push(expiry, Event::DeadlineCheck { class });
+        }
     }
 
     fn handle_sample(&mut self) {
@@ -611,6 +926,12 @@ impl Kernel {
             }
         }
         for (job, step) in rerouted {
+            if self.jobs[job].as_ref().is_some_and(|j| j.cancelled) {
+                // The drained queue entry was the tombstone's last
+                // reference.
+                self.reap(job);
+                continue;
+            }
             self.jobs[job].as_mut().expect("live waiter").frames.pop();
             self.win_arrivals[sidx] = self.win_arrivals[sidx].saturating_sub(1);
             self.queue.push(self.now, Event::Deliver { job, step });
@@ -641,6 +962,11 @@ impl Kernel {
     /// checks).
     pub(crate) fn pending_events(&self) -> usize {
         self.queue.len()
+    }
+
+    /// Pending deadline entries across all classes (off-wheel bookkeeping).
+    pub(crate) fn pending_deadlines(&self) -> usize {
+        self.deadlines.pending()
     }
 
     /// Fingerprints of the kernel's RNG streams (demand, trace) without

@@ -64,6 +64,7 @@ pub mod job;
 pub mod kernel;
 pub mod metrics;
 pub mod replica;
+pub mod resilience;
 pub mod seglog;
 pub mod service;
 pub mod sim;
@@ -71,9 +72,12 @@ pub mod snapshot;
 
 pub use agent::{Agent, AgentId, SimCtx};
 pub use autoscale::{AutoScalePolicy, ScalingAction, ScalingDirection};
-pub use config::{PlatformProfile, SimConfig};
-pub use job::{Origin, Response};
-pub use metrics::{AccessLogEntry, Metrics, RequestRecord, ServiceWindow};
+pub use config::{
+    BreakerPolicy, PlatformProfile, ResilienceConfig, ResiliencePolicy, RetryPolicy, SimConfig,
+    TypePolicy,
+};
+pub use job::{Origin, Outcome, Response};
+pub use metrics::{AccessLogEntry, Metrics, RequestRecord, ResilienceCounters, ServiceWindow};
 pub use seglog::{AccessLog, Csr, RequestFilter, RequestLog, SegLog, WindowLog};
 pub use sim::Simulation;
 pub use snapshot::{AgentState, SimSnapshot, Snapshot, SnapshotError};

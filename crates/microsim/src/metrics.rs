@@ -17,7 +17,7 @@ use serde::{Deserialize, Serialize};
 use simnet::{SimDuration, SimTime};
 
 use crate::autoscale::ScalingAction;
-use crate::job::Origin;
+use crate::job::{Origin, Outcome};
 use crate::seglog::{AccessLog, RequestLog, SegLog, WindowLog, SEG_CAP};
 
 /// Per-service measurements for one sampling window.
@@ -66,6 +66,10 @@ pub struct RequestRecord {
     pub submitted_at: SimTime,
     /// Client-side receive time.
     pub completed_at: SimTime,
+    /// How the request (or failed attempt) ended. Failed attempts are
+    /// recorded at failure time with their failure outcome; the
+    /// pre-resilience platform records `Ok` only.
+    pub outcome: Outcome,
 }
 
 impl RequestRecord {
@@ -104,6 +108,34 @@ impl NetworkWindow {
     }
 }
 
+/// Running totals of the resilience layer's interventions. All zero when
+/// every [`ResiliencePolicy`](crate::ResiliencePolicy) is disabled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ResilienceCounters {
+    /// Platform-level retry attempts scheduled (beyond first attempts).
+    pub retries: u64,
+    /// Attempts failed by deadline expiry.
+    pub timed_out: u64,
+    /// Attempts failed fast by an open circuit breaker.
+    pub rejected: u64,
+    /// Attempts shed at a full bounded wait queue.
+    pub shed: u64,
+    /// Circuit-breaker open (and half-open re-open) transitions.
+    pub breaker_opens: u64,
+}
+
+impl ResilienceCounters {
+    /// Retry amplification factor: total attempts divided by original
+    /// submissions. `1.0` when no retries happened; requires the caller's
+    /// completed-request count since the counters only see failures.
+    pub fn retry_amplification(&self, first_attempts: u64) -> f64 {
+        if first_attempts == 0 {
+            return 1.0;
+        }
+        (first_attempts + self.retries) as f64 / first_attempts as f64
+    }
+}
+
 /// Everything recorded during a simulation run.
 ///
 /// `Metrics` deliberately does **not** derive `Clone`: the snapshot path
@@ -125,6 +157,8 @@ pub struct Metrics {
     pub(crate) access_log: AccessLog,
     pub(crate) scaling_actions: Vec<ScalingAction>,
     pub(crate) traces: SegLog<(RequestTypeId, ExecutionHistory)>,
+    /// Resilience-layer intervention totals (all zero when disabled).
+    pub(crate) resilience: ResilienceCounters,
 }
 
 impl Metrics {
@@ -137,6 +171,7 @@ impl Metrics {
             access_log: AccessLog::new(),
             scaling_actions: Vec::new(),
             traces: SegLog::new(SEG_CAP),
+            resilience: ResilienceCounters::default(),
         }
     }
 
@@ -215,6 +250,11 @@ impl Metrics {
     /// Sampled span trees, with the request type that produced each.
     pub fn traces(&self) -> &SegLog<(RequestTypeId, ExecutionHistory)> {
         &self.traces
+    }
+
+    /// Resilience-layer intervention totals.
+    pub fn resilience(&self) -> &ResilienceCounters {
+        &self.resilience
     }
 
     /// Mean CPU utilisation of a service over `[from, to)`.
@@ -303,8 +343,20 @@ mod tests {
             origin: Origin::legit(0, 0),
             submitted_at: SimTime::from_millis(50),
             completed_at: SimTime::from_millis(180),
+            outcome: Outcome::Ok,
         };
         assert_eq!(rec.latency(), SimDuration::from_millis(130));
+    }
+
+    #[test]
+    fn retry_amplification_is_attempts_per_submission() {
+        let c = ResilienceCounters {
+            retries: 50,
+            ..ResilienceCounters::default()
+        };
+        assert_eq!(c.retry_amplification(100), 1.5);
+        assert_eq!(c.retry_amplification(0), 1.0);
+        assert_eq!(ResilienceCounters::default().retry_amplification(10), 1.0);
     }
 
     #[test]

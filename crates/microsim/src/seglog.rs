@@ -38,6 +38,7 @@ use callgraph::RequestTypeId;
 use serde::{DeError, Deserialize, Serialize, Value};
 use simnet::SimTime;
 
+use crate::job::{Outcome, OUTCOME_COUNT};
 use crate::metrics::{AccessLogEntry, NetworkWindow, RequestRecord, ServiceWindow};
 
 /// Records per sealed segment of the request/access/trace logs.
@@ -250,6 +251,8 @@ pub struct RequestFilter {
     pub is_attack: Option<bool>,
     /// Restrict to one request type.
     pub request_type: Option<RequestTypeId>,
+    /// Restrict to one request [`Outcome`] (the resilience status axis).
+    pub outcome: Option<Outcome>,
 }
 
 impl RequestFilter {
@@ -257,6 +260,7 @@ impl RequestFilter {
     pub fn matches(self, rec: &RequestRecord) -> bool {
         self.is_attack.is_none_or(|a| rec.origin.is_attack == a)
             && self.request_type.is_none_or(|t| rec.request_type == t)
+            && self.outcome.is_none_or(|o| rec.outcome == o)
     }
 }
 
@@ -318,6 +322,8 @@ struct SegIndex {
     by_origin: Csr,
     /// Offsets keyed by `request_type.index() * 2 + is_attack`.
     by_type_origin: Csr,
+    /// Offsets keyed by [`Outcome::index`] (the resilience status axis).
+    by_outcome: Csr,
 }
 
 impl SegIndex {
@@ -330,16 +336,32 @@ impl SegIndex {
             by_type_origin: Csr::build(records, |r| {
                 r.request_type.index() * 2 + usize::from(r.origin.is_attack)
             }),
+            by_outcome: Csr::build(records, |r| r.outcome.index()),
         }
     }
 
-    /// The posting list matching `filter`, or `None` for "every record".
-    fn group(&self, filter: RequestFilter) -> Option<&[u32]> {
+    /// Resolves `filter` against this segment's posting lists: the list to
+    /// walk (`None` = every record in the segment) plus a residual outcome
+    /// predicate to apply per record.
+    ///
+    /// An outcome-only filter walks `by_outcome` directly with no residual;
+    /// combined with another axis the denser type/origin list is walked and
+    /// the outcome is re-checked per record (no three-axis product index —
+    /// outcomes other than `Ok` are rare, so the residual check touches few
+    /// extra records). A filter without an outcome resolves exactly as it
+    /// did before the status axis existed.
+    fn plan(&self, filter: RequestFilter) -> (Option<&[u32]>, Option<Outcome>) {
         match (filter.is_attack, filter.request_type) {
-            (None, None) => None,
-            (Some(a), None) => Some(self.by_origin.group(usize::from(a))),
-            (None, Some(t)) => Some(self.by_type.group(t.index())),
-            (Some(a), Some(t)) => Some(self.by_type_origin.group(t.index() * 2 + usize::from(a))),
+            (None, None) => match filter.outcome {
+                None => (None, None),
+                Some(o) => (Some(self.by_outcome.group(o.index())), None),
+            },
+            (Some(a), None) => (Some(self.by_origin.group(usize::from(a))), filter.outcome),
+            (None, Some(t)) => (Some(self.by_type.group(t.index())), filter.outcome),
+            (Some(a), Some(t)) => (
+                Some(self.by_type_origin.group(t.index() * 2 + usize::from(a))),
+                filter.outcome,
+            ),
         }
     }
 }
@@ -462,16 +484,29 @@ impl RequestLog {
                 break; // segments are chronological: nothing later matches
             }
             let recs = seg.as_slice();
-            match index.group(filter) {
-                None => {
+            match index.plan(filter) {
+                (None, _) => {
                     let lo = recs.partition_point(|r| r.completed_at < from);
                     let hi = recs.partition_point(|r| r.completed_at < to);
                     visit(Matched::Run(&recs[lo..hi]));
                 }
-                Some(offsets) => {
+                (Some(offsets), None) => {
                     let lo = offsets.partition_point(|&o| recs[o as usize].completed_at < from);
                     let hi = offsets.partition_point(|&o| recs[o as usize].completed_at < to);
                     visit(Matched::Posting(recs, &offsets[lo..hi]));
+                }
+                (Some(offsets), Some(outcome)) => {
+                    // Residual outcome check over the axis posting list;
+                    // offsets are ascending, so emission order is still
+                    // exactly naive-scan order.
+                    let lo = offsets.partition_point(|&o| recs[o as usize].completed_at < from);
+                    let hi = offsets.partition_point(|&o| recs[o as usize].completed_at < to);
+                    for &o in &offsets[lo..hi] {
+                        let rec = &recs[o as usize];
+                        if rec.outcome == outcome {
+                            visit(Matched::Run(std::slice::from_ref(rec)));
+                        }
+                    }
                 }
             }
         }
@@ -483,6 +518,56 @@ impl RequestLog {
                 visit(Matched::Run(std::slice::from_ref(rec)));
             }
         }
+    }
+
+    /// Counts the records completed in `[from, to)` per [`Outcome`], index
+    /// position matching [`Outcome::index`] (`[ok, timed_out, rejected,
+    /// shed]`).
+    ///
+    /// O(log) per sealed segment via the `by_outcome` posting lists; only
+    /// the tail is scanned.
+    pub fn outcome_counts_in(&self, from: SimTime, to: SimTime) -> [usize; OUTCOME_COUNT] {
+        let mut counts = [0usize; OUTCOME_COUNT];
+        if to <= from {
+            return counts;
+        }
+        for (seg, index) in self.records.sealed().iter().zip(self.indexes.iter()) {
+            if index.last < from {
+                continue;
+            }
+            if index.first >= to {
+                break;
+            }
+            let recs = seg.as_slice();
+            for (k, c) in counts.iter_mut().enumerate() {
+                let offsets = index.by_outcome.group(k);
+                let lo = offsets.partition_point(|&o| recs[o as usize].completed_at < from);
+                let hi = offsets.partition_point(|&o| recs[o as usize].completed_at < to);
+                *c += hi - lo;
+            }
+        }
+        let tail = self.records.tail();
+        let lo = tail.partition_point(|r| r.completed_at < from);
+        let hi = tail.partition_point(|r| r.completed_at < to);
+        for rec in &tail[lo..hi] {
+            counts[rec.outcome.index()] += 1;
+        }
+        counts
+    }
+
+    /// Full-scan twin of [`RequestLog::outcome_counts_in`], kept as the
+    /// differential-testing reference for the indexed path.
+    pub fn outcome_counts_naive(&self, from: SimTime, to: SimTime) -> [usize; OUTCOME_COUNT] {
+        let mut counts = [0usize; OUTCOME_COUNT];
+        if to <= from {
+            return counts;
+        }
+        for rec in self {
+            if rec.completed_at >= from && rec.completed_at < to {
+                counts[rec.outcome.index()] += 1;
+            }
+        }
+        counts
     }
 
     #[cfg(test)]
@@ -1084,7 +1169,19 @@ mod tests {
     use proptest::prelude::*;
     use simnet::SimDuration;
 
+    /// The outcome variants in [`Outcome::index`] order, for strategies.
+    const OUTCOMES: [Outcome; OUTCOME_COUNT] = [
+        Outcome::Ok,
+        Outcome::TimedOut,
+        Outcome::Rejected,
+        Outcome::Shed,
+    ];
+
     fn rec(t_us: u64, ty: usize, attack: bool) -> RequestRecord {
+        rec_out(t_us, ty, attack, Outcome::Ok)
+    }
+
+    fn rec_out(t_us: u64, ty: usize, attack: bool, outcome: Outcome) -> RequestRecord {
         RequestRecord {
             request_type: RequestTypeId::new(ty as u32),
             origin: if attack {
@@ -1094,7 +1191,44 @@ mod tests {
             },
             submitted_at: SimTime::from_micros(t_us.saturating_sub(500)),
             completed_at: SimTime::from_micros(t_us),
+            outcome,
         }
+    }
+
+    #[test]
+    fn outcome_axis_filters_and_counts() {
+        use Outcome::*;
+        let mut log = RequestLog::with_seg_cap(4);
+        let mut records = Vec::new();
+        let outcomes = [Ok, TimedOut, Ok, Shed, Rejected, Ok, TimedOut, Ok, Ok, Shed];
+        for (i, &o) in outcomes.iter().enumerate() {
+            let r = rec_out(i as u64 * 1000, i % 2, i % 3 == 0, o);
+            log.push(r);
+            records.push(r);
+        }
+        let (from, to) = (SimTime::ZERO, SimTime::from_micros(100_000));
+        assert_eq!(log.outcome_counts_in(from, to), [5, 2, 1, 2]);
+        assert_eq!(log.outcome_counts_naive(from, to), [5, 2, 1, 2]);
+        // Outcome-only filter: walks the by_outcome posting lists.
+        let f = RequestFilter {
+            outcome: Some(TimedOut),
+            ..Default::default()
+        };
+        let mut got = Vec::new();
+        log.for_each_matching(from, to, f, |r| got.push(*r));
+        assert_eq!(got, naive(&records, from, to, f));
+        assert_eq!(log.count_matching(from, to, f), 2);
+        // Outcome combined with another axis: residual-predicate path.
+        let f2 = RequestFilter {
+            outcome: Some(Ok),
+            request_type: Some(RequestTypeId::new(0)),
+            ..Default::default()
+        };
+        let mut got2 = Vec::new();
+        log.for_each_matching(from, to, f2, |r| got2.push(*r));
+        assert_eq!(got2, naive(&records, from, to, f2));
+        // Degenerate window.
+        assert_eq!(log.outcome_counts_in(to, from), [0; OUTCOME_COUNT]);
     }
 
     #[test]
@@ -1312,19 +1446,24 @@ mod tests {
         #[test]
         fn indexed_queries_match_naive_scan(
             seg_cap in 1usize..9,
-            steps in proptest::collection::vec((0u64..400, 0usize..4, 0u8..2), 0..200),
+            steps in proptest::collection::vec(
+                (0u64..400, 0usize..4, 0u8..2, 0u8..OUTCOME_COUNT as u8),
+                0..200,
+            ),
             ranges in proptest::collection::vec((0u64..500, 0u64..500), 1..12),
             // 0 = no origin filter, 1 = legit only, 2 = attack only.
             attack_f in 0u8..3,
             // 0 = no type filter, k = restrict to type k - 1.
             type_f in 0u32..5,
+            // 0 = no outcome filter, k = restrict to OUTCOMES[k - 1].
+            outcome_f in 0u8..(OUTCOME_COUNT as u8 + 1),
         ) {
             let mut log = RequestLog::with_seg_cap(seg_cap);
             let mut records = Vec::new();
             let mut t = 0u64;
-            for (dt, ty, attack) in steps {
+            for (dt, ty, attack, outcome) in steps {
                 t += dt; // non-decreasing completion times, duplicates allowed
-                let r = rec(t, ty, attack == 1);
+                let r = rec_out(t, ty, attack == 1, OUTCOMES[outcome as usize]);
                 log.push(r);
                 records.push(r);
             }
@@ -1335,6 +1474,7 @@ mod tests {
                     _ => Some(true),
                 },
                 request_type: type_f.checked_sub(1).map(RequestTypeId::new),
+                outcome: outcome_f.checked_sub(1).map(|k| OUTCOMES[k as usize]),
             };
             for (a, b) in ranges {
                 let (from, to) = (SimTime::from_micros(a), SimTime::from_micros(b));
@@ -1343,6 +1483,10 @@ mod tests {
                 log.for_each_matching(from, to, filter, |r| got.push(*r));
                 prop_assert_eq!(&got, &expect, "gather mismatch");
                 prop_assert_eq!(log.count_matching(from, to, filter), expect.len(), "count mismatch");
+                let counts = log.outcome_counts_in(from, to);
+                prop_assert_eq!(counts, log.outcome_counts_naive(from, to), "outcome twin mismatch");
+                let unfiltered = naive(&records, from, to, RequestFilter::default()).len();
+                prop_assert_eq!(counts.iter().sum::<usize>(), unfiltered, "outcome counts must partition the window");
             }
         }
 

@@ -176,6 +176,12 @@ impl Simulation {
         self.kernel.rng_fingerprint()
     }
 
+    /// Number of pending per-attempt deadline entries (off-wheel
+    /// bookkeeping; the leak guards assert this stays bounded).
+    pub fn pending_deadlines(&self) -> usize {
+        self.kernel.pending_deadlines()
+    }
+
     /// Finishes the run and takes the metrics out.
     pub fn into_metrics(self) -> Metrics {
         self.kernel.into_metrics()

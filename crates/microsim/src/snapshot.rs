@@ -76,6 +76,10 @@ impl Clone for Kernel {
             sec_started: self.sec_started,
             windows_per_sec: self.windows_per_sec,
             windows_seen: self.windows_seen,
+            retry_rng: self.retry_rng.clone(),
+            deadlines: self.deadlines.clone(),
+            breakers: self.breakers.clone(),
+            resilience_active: self.resilience_active,
         }
     }
 }
@@ -103,6 +107,7 @@ impl Clone for Metrics {
             traces: self.traces.clone(),
             // Rare events: a plain deep copy stays negligible.
             scaling_actions: self.scaling_actions.clone(),
+            resilience: self.resilience,
         }
     }
 }

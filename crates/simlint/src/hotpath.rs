@@ -41,7 +41,7 @@ pub struct Seed {
 /// (the paper's per-request steady state) and `Kernel::submit` the client
 /// admission path; the queue and the segmented stores are the data
 /// structures they hammer per event.
-pub const HOT_SEEDS: [Seed; 10] = [
+pub const HOT_SEEDS: [Seed; 12] = [
     Seed {
         type_name: "Kernel",
         fn_name: "pump",
@@ -94,6 +94,20 @@ pub const HOT_SEEDS: [Seed; 10] = [
         type_name: "ClosedLoopUsers",
         fn_name: "on_wake",
         anchor_file: "crates/workload/src/users.rs",
+    },
+    // The resilience layer's per-event paths: every submission with a
+    // deadline arms a timer, and every expiry/shed/rejection runs the
+    // failure path — both are paid O(requests) on a shedding topology, so
+    // they must stay allocation-free like the rest of the kernel loop.
+    Seed {
+        type_name: "DeadlineQueues",
+        fn_name: "arm",
+        anchor_file: "crates/microsim/src/resilience.rs",
+    },
+    Seed {
+        type_name: "Kernel",
+        fn_name: "fail_attempt",
+        anchor_file: "crates/microsim/src/kernel.rs",
     },
 ];
 

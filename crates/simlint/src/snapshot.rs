@@ -35,7 +35,7 @@ pub struct SnapshotTarget<'a> {
 }
 
 /// The workspace's tracked snapshot structs.
-pub const TARGETS: [SnapshotTarget<'static>; 7] = [
+pub const TARGETS: [SnapshotTarget<'static>; 9] = [
     SnapshotTarget {
         struct_name: "Kernel",
         struct_file: "crates/microsim/src/kernel.rs",
@@ -82,6 +82,20 @@ pub const TARGETS: [SnapshotTarget<'static>; 7] = [
         struct_name: "ClosedLoopUsers",
         struct_file: "crates/workload/src/users.rs",
         clone_file: "crates/workload/src/users.rs",
+    },
+    // The resilience layer's kernel state: in-flight deadline timers and
+    // circuit-breaker banks must survive checkpoint/fork bit-identically —
+    // a dropped field would mean timers silently vanishing (requests that
+    // never time out) or breakers resetting to closed on every fork.
+    SnapshotTarget {
+        struct_name: "DeadlineQueues",
+        struct_file: "crates/microsim/src/resilience.rs",
+        clone_file: "crates/microsim/src/resilience.rs",
+    },
+    SnapshotTarget {
+        struct_name: "BreakerBank",
+        struct_file: "crates/microsim/src/resilience.rs",
+        clone_file: "crates/microsim/src/resilience.rs",
     },
 ];
 

@@ -224,6 +224,64 @@ fn deleting_a_population_field_clone_line_is_caught() {
 }
 
 #[test]
+fn deleting_a_deadline_queue_field_clone_line_is_caught() {
+    let diags = check_with_deleted_line("DeadlineQueues", "classes: self.classes.clone()");
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.contains("[snapshot-complete]") && d.contains("`classes`")),
+        "expected a snapshot-complete finding for `classes`, got: {diags:?}"
+    );
+}
+
+#[test]
+fn deleting_a_breaker_bank_field_clone_line_is_caught() {
+    let diags = check_with_deleted_line("BreakerBank", "states: self.states.clone()");
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.contains("[snapshot-complete]") && d.contains("`states`")),
+        "expected a snapshot-complete finding for `states`, got: {diags:?}"
+    );
+}
+
+#[test]
+fn injecting_an_allocation_into_the_deadline_arm_path_is_caught() {
+    // DeadlineQueues::arm is a HOT_SEEDS entry of its own: every deadlined
+    // submission runs it, so it must stay allocation-free.
+    let diags = lint_with_patched_file("crates/microsim/src/resilience.rs", |src| {
+        src.replace(
+            ") -> Option<(SimTime, u32)> {",
+            ") -> Option<(SimTime, u32)> {\n        let scratch: Vec<u8> = Vec::with_capacity(64);\n        drop(scratch);",
+        )
+    });
+    assert!(
+        diags.iter().any(|d| d.contains("[hot-path-alloc]")
+            && d.contains("Vec::with_capacity")
+            && d.contains("resilience.rs")),
+        "expected a hot-path-alloc finding in the deadline arm path, got: {diags:?}"
+    );
+}
+
+#[test]
+fn injecting_an_allocation_into_the_failure_path_is_caught() {
+    // Kernel::fail_attempt runs per timeout/shed/rejection — O(requests)
+    // on a shedding topology.
+    let diags = lint_with_patched_file("crates/microsim/src/kernel.rs", |src| {
+        src.replace(
+            "        reap_now: bool,\n    ) {",
+            "        reap_now: bool,\n    ) {\n        let label = format!(\"job {job}\");\n        drop(label);",
+        )
+    });
+    assert!(
+        diags.iter().any(|d| d.contains("[hot-path-alloc]")
+            && d.contains("`format!`")
+            && d.contains("kernel.rs")),
+        "expected a hot-path-alloc finding in the failure path, got: {diags:?}"
+    );
+}
+
+#[test]
 fn injecting_an_allocation_into_the_timer_arena_is_caught() {
     // ThinkArena::schedule is reachable only through the population seeds;
     // this proves the new HOT_SEEDS entries actually extend the hot set.

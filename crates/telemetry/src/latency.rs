@@ -73,6 +73,7 @@ impl LatencySummary {
         let filter = RequestFilter {
             is_attack: traffic.attack_filter(),
             request_type,
+            outcome: None,
         };
         let log = metrics.request_log();
         let n = log.count_matching(from, to, filter);
@@ -177,6 +178,7 @@ impl LatencySeries {
         let filter = RequestFilter {
             is_attack: traffic.attack_filter(),
             request_type: None,
+            outcome: None,
         };
         metrics
             .request_log()

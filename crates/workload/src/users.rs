@@ -23,9 +23,16 @@
 //!    through the initial alias table);
 //! 2. `start`: one uniform per user in slot order (first think time),
 //!    skipped entirely when the mean think time is zero;
-//! 3. per response: one uniform for the Markov transition (alias table),
-//!    then one uniform for the next think time (again skipped at zero
-//!    mean).
+//! 3. per successful response: one uniform for the Markov transition
+//!    (alias table), then one uniform for the next think time (again
+//!    skipped at zero mean);
+//! 4. per failed response (`Outcome != Ok`): one uniform for the
+//!    retry-or-abandon decision **iff** `0 < retry_prob < 1` (the
+//!    deterministic extremes draw nothing), then — on abandon only — the
+//!    transition uniform, then the think uniform either way. A retrying
+//!    user keeps its Markov state and re-fires the same request after the
+//!    think; an abandoning user browses on as if the request had
+//!    succeeded, but records no latency sample.
 //!
 //! The engine prefetches this stream in [`UNIT_BATCH`]-draw blocks via
 //! [`RngStream::fill_unit`], which is documented to be bit-identical to
@@ -40,7 +47,7 @@ use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
 use callgraph::RequestTypeId;
-use microsim::{Agent, Origin, Response, SimCtx};
+use microsim::{Agent, Origin, Outcome, Response, SimCtx};
 use simnet::{exp_from_unit, AliasTable, RngStream, SegStore, SimDuration, SimTime, Welford};
 
 use crate::arena::{think_tick_micros, ThinkArena};
@@ -245,6 +252,13 @@ pub struct ClosedLoopUsers {
     /// Collect raw samples only after this time (lets experiments exclude
     /// warm-up).
     record_after: SimTime,
+    /// Probability a user re-issues a failed request after a fresh think
+    /// time (see the module docs for the exact draw discipline).
+    retry_prob: f64,
+    /// Failed responses users re-issued.
+    user_retries: u64,
+    /// Failed responses users gave up on.
+    abandoned: u64,
 }
 
 // Live population state forks through a hand-written per-field Clone
@@ -264,6 +278,9 @@ impl Clone for ClosedLoopUsers {
             latency: self.latency,
             samples: self.samples.clone(),
             record_after: self.record_after,
+            retry_prob: self.retry_prob,
+            user_retries: self.user_retries,
+            abandoned: self.abandoned,
         }
     }
 }
@@ -299,6 +316,9 @@ impl ClosedLoopUsers {
             latency: Welford::new(),
             samples: SegStore::new(),
             record_after: SimTime::ZERO,
+            retry_prob: 0.0,
+            user_retries: 0,
+            abandoned: 0,
         }
     }
 
@@ -322,9 +342,35 @@ impl ClosedLoopUsers {
         self
     }
 
+    /// Sets the probability that a user re-issues a failed request
+    /// (outcome other than `Ok`) after a fresh think time. Default `0.0`:
+    /// failures are abandoned and the user browses on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn with_retry(mut self, p: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "retry probability must be in [0, 1]"
+        );
+        self.retry_prob = p;
+        self
+    }
+
     /// Population size.
     pub fn population(&self) -> usize {
         self.states.len()
+    }
+
+    /// Failed responses users re-issued.
+    pub fn user_retries(&self) -> u64 {
+        self.user_retries
+    }
+
+    /// Failed responses users gave up on.
+    pub fn abandoned(&self) -> u64 {
+        self.abandoned
     }
 
     /// Aggregate latency statistics in milliseconds.
@@ -416,6 +462,22 @@ impl Agent for ClosedLoopUsers {
         // The tag is the submitting slot: O(1) dispatch, no token map.
         let slot = response.tag as usize;
         debug_assert!(slot < self.states.len(), "response tag outside the slab");
+        if response.outcome != Outcome::Ok {
+            // Failed request: no latency sample. Decide retry-or-abandon
+            // (one uniform, skipped at the deterministic extremes); a
+            // retrying user keeps its state, an abandoning one browses on.
+            let retry = self.retry_prob >= 1.0
+                || (self.retry_prob > 0.0 && self.next_unit() < self.retry_prob);
+            if retry {
+                self.user_retries += 1;
+            } else {
+                self.abandoned += 1;
+                let u = self.next_unit();
+                self.states[slot] = self.model.next_state(self.states[slot] as usize, u) as u32;
+            }
+            self.park(ctx, slot as u32);
+            return;
+        }
         let lat = response.latency_ms();
         self.latency.push(lat);
         if response.completed_at >= self.record_after {
@@ -460,6 +522,9 @@ pub struct ClosedLoopUsersNaive {
     latency: Welford,
     samples: SegStore<(SimTime, f64)>,
     record_after: SimTime,
+    retry_prob: f64,
+    user_retries: u64,
+    abandoned: u64,
 }
 
 impl ClosedLoopUsersNaive {
@@ -486,6 +551,9 @@ impl ClosedLoopUsersNaive {
             latency: Welford::new(),
             samples: SegStore::new(),
             record_after: SimTime::ZERO,
+            retry_prob: 0.0,
+            user_retries: 0,
+            abandoned: 0,
         }
     }
 
@@ -503,9 +571,34 @@ impl ClosedLoopUsersNaive {
         self
     }
 
+    /// Sets the retry probability for failed requests (same semantics and
+    /// draw discipline as [`ClosedLoopUsers::with_retry`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn with_retry(mut self, p: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "retry probability must be in [0, 1]"
+        );
+        self.retry_prob = p;
+        self
+    }
+
     /// Population size.
     pub fn population(&self) -> usize {
         self.users.len()
+    }
+
+    /// Failed responses users re-issued.
+    pub fn user_retries(&self) -> u64 {
+        self.user_retries
+    }
+
+    /// Failed responses users gave up on.
+    pub fn abandoned(&self) -> u64 {
+        self.abandoned
     }
 
     /// Aggregate latency statistics in milliseconds.
@@ -557,6 +650,19 @@ impl Agent for ClosedLoopUsersNaive {
             .outstanding
             .remove(&response.token)
             .expect("response for unknown token");
+        if response.outcome != Outcome::Ok {
+            let retry = self.retry_prob >= 1.0
+                || (self.retry_prob > 0.0 && self.rng.unit() < self.retry_prob);
+            if retry {
+                self.user_retries += 1;
+            } else {
+                self.abandoned += 1;
+                let state = self.users[user].state;
+                self.users[user].state = self.model.next_state(state, self.rng.unit());
+            }
+            self.think_then_park(ctx, user);
+            return;
+        }
         let lat = response.latency_ms();
         self.latency.push(lat);
         if response.completed_at >= self.record_after {
@@ -730,6 +836,77 @@ mod tests {
             fast.metrics().request_log().len(),
             naive.metrics().request_log().len()
         );
+    }
+
+    fn resilient_cfg(deadline_us: u64) -> SimConfig {
+        use microsim::{ResilienceConfig, ResiliencePolicy};
+        SimConfig::default().resilience(ResilienceConfig::uniform(ResiliencePolicy {
+            deadline: Some(SimDuration::from_micros(deadline_us)),
+            ..ResiliencePolicy::disabled()
+        }))
+    }
+
+    #[test]
+    fn failed_requests_retry_or_abandon() {
+        // 500 µs deadline against ≥ 1 ms demands: every request times out,
+        // so the population sees only failed responses.
+        let model = BrowsingModel::uniform([RequestTypeId::new(0), RequestTypeId::new(1)]);
+        let retriers = ClosedLoopUsers::new(20, model.clone(), 9)
+            .with_think_time(0.05)
+            .with_retry(1.0);
+        let mut sim = Simulation::new(topo(), resilient_cfg(500));
+        let id = sim.add_agent(Box::new(retriers));
+        sim.run_until(SimTime::from_secs(5));
+        let u: &ClosedLoopUsers = sim.agent_as(id).expect("typed");
+        assert_eq!(u.latency_stats().count(), 0, "no successful responses");
+        assert!(u.user_retries() > 0, "p = 1 must retry every failure");
+        assert_eq!(u.abandoned(), 0);
+
+        let abandoners = ClosedLoopUsers::new(20, model, 9).with_think_time(0.05);
+        let mut sim = Simulation::new(topo(), resilient_cfg(500));
+        let id = sim.add_agent(Box::new(abandoners));
+        sim.run_until(SimTime::from_secs(5));
+        let u: &ClosedLoopUsers = sim.agent_as(id).expect("typed");
+        assert_eq!(u.latency_stats().count(), 0);
+        assert!(u.abandoned() > 0, "p = 0 must abandon every failure");
+        assert_eq!(u.user_retries(), 0);
+    }
+
+    #[test]
+    fn naive_twin_matches_under_failures() {
+        // 2 ms deadline on the test topology: r1 (1 ms demand) completes,
+        // r0 (1 + 3 ms chain) times out — a success/failure mix that
+        // exercises the probabilistic retry draw in both twins.
+        let model = BrowsingModel::uniform([RequestTypeId::new(0), RequestTypeId::new(1)]);
+        let mut fast = Simulation::new(topo(), resilient_cfg(2_000));
+        let fast_id = fast.add_agent(Box::new(
+            ClosedLoopUsers::new(150, model.clone(), 13)
+                .with_think_time(0.2)
+                .with_retry(0.3),
+        ));
+        let mut naive = Simulation::new(topo(), resilient_cfg(2_000));
+        let naive_id = naive.add_agent(Box::new(
+            ClosedLoopUsersNaive::new(150, model, 13)
+                .with_think_time(0.2)
+                .with_retry(0.3),
+        ));
+        fast.run_until(SimTime::from_secs(10));
+        naive.run_until(SimTime::from_secs(10));
+        let f: &ClosedLoopUsers = fast.agent_as(fast_id).expect("typed");
+        let n: &ClosedLoopUsersNaive = naive.agent_as(naive_id).expect("typed");
+        assert!(f.user_retries() > 0, "mixed run must retry some failures");
+        assert!(f.abandoned() > 0, "mixed run must abandon some failures");
+        assert!(f.latency_stats().count() > 0, "r1 must keep succeeding");
+        assert_eq!(f.user_retries(), n.user_retries());
+        assert_eq!(f.abandoned(), n.abandoned());
+        assert_eq!(f.latency_stats().count(), n.latency_stats().count());
+        assert_eq!(
+            f.latency_stats().mean().to_bits(),
+            n.latency_stats().mean().to_bits()
+        );
+        let fs: Vec<_> = f.samples().iter().collect();
+        let ns: Vec<_> = n.samples().iter().collect();
+        assert_eq!(fs, ns);
     }
 
     #[test]

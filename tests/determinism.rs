@@ -56,6 +56,56 @@ fn different_seed_changes_the_run() {
     assert_ne!(a.0, b.0, "different seeds should produce different runs");
 }
 
+/// A config that names the resilience layer but disables every policy is
+/// byte-identical to one that never mentions it: same campaign, same
+/// metrics, same pending events, same final RNG stream positions (the
+/// `"kernel/retry"` stream must stay at its seed position). This is the
+/// invariant that lets every pre-resilience experiment keep its exact
+/// numbers.
+#[test]
+fn disabled_resilience_is_byte_identical_to_no_resilience() {
+    use microsim::{ResilienceConfig, ResiliencePolicy};
+
+    let run = |with_config: bool| {
+        let users = 1_000;
+        let app = social_network(users);
+        let mut config = SimConfig::default().seed(0xD15A);
+        if with_config {
+            config = config.resilience(ResilienceConfig::uniform(ResiliencePolicy::disabled()));
+        }
+        let mut sim = Simulation::new(app.topology().clone(), config);
+        // The user-level retry knob is active but inert: with no failing
+        // responses it must draw nothing.
+        sim.add_agent(Box::new(
+            ClosedLoopUsers::new(users, app.browsing_model(), 0xD15A ^ 0xABCD).with_retry(0.5),
+        ));
+        sim.run_until(SimTime::from_secs(10));
+        GruntCampaign::run(
+            &mut sim,
+            CampaignConfig::default(),
+            SimDuration::from_secs(30),
+        );
+        sim
+    };
+    let plain = run(false);
+    let disabled = run(true);
+    assert_eq!(
+        plain.metrics(),
+        disabled.metrics(),
+        "disabled resilience config changed recorded metrics"
+    );
+    assert_eq!(
+        plain.pending_events(),
+        disabled.pending_events(),
+        "disabled resilience config changed the pending event population"
+    );
+    assert_eq!(
+        plain.rng_fingerprint(),
+        disabled.rng_fingerprint(),
+        "disabled resilience config moved an RNG stream"
+    );
+}
+
 /// A warm-snapshot forked run is byte-identical to a cold run: the same
 /// campaign executed with and without snapshot forking must agree on the
 /// full request timeline, every recorded metric, the attack schedule and
